@@ -1,0 +1,73 @@
+"""Ablation: FDTD vs FFT-based Maxwell solver (paper Section 2).
+
+The paper names both solver families ("FDTD [9] or FFT-based [8]
+techniques").  This benchmark quantifies the trade-off on the classic
+discriminator — numerical dispersion of a vacuum wave — and times both
+solvers per step on this host.
+
+Run:  pytest benchmarks/bench_ablation_maxwell.py --benchmark-only -s
+"""
+
+import math
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.constants import SPEED_OF_LIGHT
+from repro.fields import YeeGrid
+from repro.pic import FdtdSolver, SpectralSolver, max_stable_dt
+
+from conftest import once
+
+
+def _mode_error_after_period(solver_kind, cells_per_wavelength):
+    """Relative L2 error of a standing mode after one analytic period."""
+    spacing = 1.0e-5
+    cells = cells_per_wavelength
+    grid = YeeGrid((0.0, 0.0, 0.0), (spacing,) * 3, (cells, 4, 4))
+    k = 2.0 * math.pi / (cells * spacing)
+    if solver_kind == "fdtd":
+        x = grid.component_coordinates("ey", 0)
+    else:
+        x = grid.node_coordinates(0)
+    grid.component("ey")[:] = np.cos(k * x)[:, None, None]
+    before = grid.component("ey").copy()
+
+    period = 2.0 * math.pi / (SPEED_OF_LIGHT * k)
+    dt = max_stable_dt(grid.spacing, 0.5)
+    steps = int(round(period / dt))
+    dt = period / steps                      # land exactly on one period
+    solver = (FdtdSolver(grid, dt) if solver_kind == "fdtd"
+              else SpectralSolver(grid, dt))
+    solver.run(steps)
+    return float(np.linalg.norm(grid.component("ey") - before)
+                 / np.linalg.norm(before))
+
+
+def test_dispersion_error_comparison(benchmark):
+    resolutions = (8, 16, 32)
+
+    def sweep():
+        return {kind: [_mode_error_after_period(kind, n)
+                       for n in resolutions]
+                for kind in ("fdtd", "spectral")}
+
+    errors = once(benchmark, sweep)
+    rows = [[kind] + [f"{v:.2e}" for v in values]
+            for kind, values in errors.items()]
+    print()
+    print(format_table(
+        ["solver"] + [f"{n} cells/lambda" for n in resolutions], rows,
+        "Vacuum-mode error after one period (numerical dispersion)"))
+    for kind, values in errors.items():
+        benchmark.extra_info[f"{kind} @16"] = f"{values[1]:.2e}"
+
+    # FDTD error shrinks at least at 2nd order with resolution (faster
+    # here because the spatial and temporal dispersion terms partially
+    # cancel at this Courant number) ...
+    fdtd = errors["fdtd"]
+    assert fdtd[0] > fdtd[1] > fdtd[2]
+    order = math.log2(fdtd[0] / fdtd[1])
+    assert order > 1.5
+    # ... the spectral solver is exact at every resolution.
+    assert all(v < 1e-10 for v in errors["spectral"])

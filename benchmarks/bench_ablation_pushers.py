@@ -1,0 +1,73 @@
+"""Ablation: accuracy and convergence order of the pushers.
+
+The paper adopts Boris as "the most used and de-facto standard scheme"
+and cites Ripperda et al. (2018) for accuracy comparisons.  This
+benchmark measures the phase error of each pusher against the analytic
+relativistic gyration over a range of step sizes, verifying second-
+order convergence and ranking the schemes.
+
+Run:  pytest benchmarks/bench_ablation_pushers.py --benchmark-only -s
+"""
+
+import math
+
+import numpy as np
+
+from repro.bench import format_table
+from repro.constants import (ELECTRON_MASS, ELEMENTARY_CHARGE,
+                             SPEED_OF_LIGHT, cyclotron_frequency)
+from repro.core import advance, get_pusher, setup_leapfrog
+from repro.fields import UniformField
+from repro.particles import ParticleEnsemble
+
+from conftest import once
+
+MC = ELECTRON_MASS * SPEED_OF_LIGHT
+PUSHERS = ("boris", "vay", "higuera-cary")
+
+
+def _gyration_error(name, steps_per_period):
+    """Position error (in gyroradii) after one full analytic period."""
+    b0 = 1.0e4
+    u = 1.0
+    gamma = math.sqrt(2.0)
+    p0 = u * MC
+    radius = p0 / (ELEMENTARY_CHARGE * b0 / SPEED_OF_LIGHT)
+    omega = cyclotron_frequency(b0, gamma)
+    field = UniformField(b=(0.0, 0.0, b0))
+    ensemble = ParticleEnsemble.from_arrays(
+        [[0.0, -radius, 0.0]], [[p0, 0.0, 0.0]])
+    dt = 2.0 * math.pi / omega / steps_per_period
+    setup_leapfrog(ensemble, field, dt)
+    advance(ensemble, field, dt, steps_per_period, pusher=get_pusher(name))
+    end = ensemble.positions()[0]
+    return float(np.linalg.norm(end - [0.0, -radius, 0.0]) / radius)
+
+
+def test_pusher_convergence_order(benchmark):
+    resolutions = (25, 50, 100, 200)
+
+    def sweep():
+        return {name: [_gyration_error(name, n) for n in resolutions]
+                for name in PUSHERS}
+
+    errors = once(benchmark, sweep)
+    rows = []
+    for name, values in errors.items():
+        orders = [math.log2(a / b)
+                  for a, b in zip(values, values[1:])]
+        rows.append([name] + [f"{v:.2e}" for v in values]
+                    + [f"{np.mean(orders):.2f}"])
+        benchmark.extra_info[f"{name} order"] = round(
+            float(np.mean(orders)), 2)
+    print()
+    print(format_table(
+        ["pusher"] + [f"T/{n}" for n in resolutions] + ["order"],
+        rows, "Gyration phase error after one period (gyroradii)"))
+
+    for name, values in errors.items():
+        # Errors decrease with resolution ...
+        assert all(a > b for a, b in zip(values, values[1:])), name
+        # ... at second order (leapfrog schemes).
+        orders = [math.log2(a / b) for a, b in zip(values, values[1:])]
+        assert 1.7 < np.mean(orders) < 2.3, name

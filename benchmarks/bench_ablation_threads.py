@@ -1,0 +1,57 @@
+"""Ablation: thread count and hyperthreading on the CPU node.
+
+The paper (Section 5.3): "For OpenMP versions, it was found that
+employing 96 threads is empirically the best, that is, the use of
+hyperthreading technology improves performance."  This sweep models the
+OpenMP build at 1 and 2 threads per core across socket fillings.
+
+Run:  pytest benchmarks/bench_ablation_threads.py --benchmark-only -s
+"""
+
+from repro.bench import format_table, model_push_nsps
+from repro.bench.scenarios import BenchmarkCase
+from repro.fp import Precision
+from repro.particles import Layout
+
+from conftest import once
+
+CASE = BenchmarkCase("precalculated", Layout.SOA, Precision.SINGLE,
+                     "OpenMP")
+
+
+def test_hyperthreading_helps_at_full_machine(benchmark, model_n):
+    def sweep():
+        out = {}
+        for threads_per_core in (1, 2):
+            result = model_push_nsps(CASE, n=model_n, units=48,
+                                     threads_per_unit=threads_per_core)
+            out[48 * threads_per_core] = result.nsps
+        return out
+
+    result = once(benchmark, sweep)
+    benchmark.extra_info.update(
+        {f"{k} threads": round(v, 3) for k, v in result.items()})
+    print(f"\n48 threads: {result[48]:.3f} NSPS   "
+          f"96 threads: {result[96]:.3f} NSPS")
+    assert result[96] < result[48]
+
+
+def test_thread_sweep_table(benchmark, model_n):
+    def sweep():
+        rows = []
+        for cores in (12, 24, 36, 48):
+            row = [cores]
+            for threads_per_core in (1, 2):
+                result = model_push_nsps(CASE, n=model_n, units=cores,
+                                         threads_per_unit=threads_per_core)
+                row.append(f"{result.nsps:.3f}")
+            rows.append(row)
+        return rows
+
+    rows = once(benchmark, sweep)
+    print()
+    print(format_table(["cores", "1 thread/core", "2 threads/core"], rows,
+                       "OpenMP NSPS vs threading (precalculated, float)"))
+    # SMT never hurts in this memory-latency-bound kernel.
+    for row in rows:
+        assert float(row[2]) <= float(row[1]) * 1.001

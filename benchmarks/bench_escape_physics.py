@@ -1,0 +1,77 @@
+"""Physics benchmark: escape rate vs wave power.
+
+Reproduces the paper's stated motivation for choosing P = 0.1 PW:
+"Particle escape is fastest in the range of powers from approximately
+4 GW to 1 PW when fields are relativistic, but radiative trapping
+effects are absent."  Sweeps the power across six decades and, at the
+top end, compares plain Boris with the radiation-reaction pusher to
+show trapping beginning to hold particles back.
+
+Run:  pytest benchmarks/bench_escape_physics.py --benchmark-only -s
+"""
+
+from repro.analysis import escape_rate_sweep, run_escape_study
+from repro.bench import format_table
+from repro.core import RadiationReactionPusher
+
+from conftest import once
+
+#: erg/s: 0.1 MW .. 10 PW (the paper's window is ~4 GW - 1 PW).
+POWERS = (1.0e13, 1.0e16, 1.0e19, 1.0e21, 1.0e23)
+
+
+def test_escape_rate_vs_power(benchmark):
+    def sweep():
+        return escape_rate_sweep(POWERS, n_particles=600, cycles=4,
+                                 samples_per_cycle=4,
+                                 steps_per_cycle=240, seed=3)
+
+    curves = once(benchmark, sweep)
+    rows = []
+    for power, curve in curves.items():
+        rows.append([f"{power / 1e19:8.1e} x 10 GW",
+                     f"{curve.escape_rate():6.2f}",
+                     f"{curve.fractions[-1]:6.3f}",
+                     f"{curve.max_gamma:8.1f}"])
+    print()
+    print(format_table(
+        ["power", "rate [1/cycle]", "remaining @4T", "max gamma"],
+        rows, "Escape from the focal region vs wave power"))
+    for power, curve in curves.items():
+        benchmark.extra_info[f"rate @{power:.0e}"] = round(
+            curve.escape_rate(), 2)
+
+    # Weak waves confine (nothing escapes a 0.1-MW wave) ...
+    assert curves[1.0e13].escape_rate() < 0.1
+    # ... the paper's window escapes fast ...
+    assert curves[1.0e19].escape_rate() > 0.5
+    assert curves[1.0e21].escape_rate() > 0.5
+    # ... and fields become relativistic somewhere in between.
+    assert curves[1.0e13].max_gamma < 2.0
+    assert curves[1.0e21].max_gamma > 10.0
+
+
+def test_radiation_reaction_slows_escape_at_high_power(benchmark):
+    """At 10 PW radiative losses start trapping particles (ref. [25]):
+    the radiating ensemble must not escape faster than the plain one."""
+    power = 1.0e23
+
+    def run_both():
+        plain = run_escape_study(power, n_particles=400, cycles=3,
+                                 samples_per_cycle=2,
+                                 steps_per_cycle=300, seed=4)
+        radiating = run_escape_study(power, n_particles=400, cycles=3,
+                                     samples_per_cycle=2,
+                                     steps_per_cycle=300, seed=4,
+                                     pusher=RadiationReactionPusher())
+        return plain, radiating
+
+    plain, radiating = once(benchmark, run_both)
+    benchmark.extra_info["plain remaining"] = round(plain.fractions[-1], 3)
+    benchmark.extra_info["radiating remaining"] = round(
+        radiating.fractions[-1], 3)
+    print(f"\n10 PW after 3 cycles: plain {plain.fractions[-1]:.3f} "
+          f"remaining, radiating {radiating.fractions[-1]:.3f}")
+    assert radiating.fractions[-1] >= plain.fractions[-1] - 0.02
+    # Radiation also caps the attained energy.
+    assert radiating.max_gamma <= plain.max_gamma

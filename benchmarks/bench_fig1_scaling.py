@@ -1,0 +1,52 @@
+"""Regenerate Fig. 1: strong-scaling speedup on 1-48 cores.
+
+OpenMP and DPC++ NUMA, AoS and SoA layouts, precalculated fields,
+single precision, 2 bound threads per core — exactly the paper's
+configuration.  Prints the speedup series and asserts the figure's
+shape: near-linear OpenMP start, super-linear DPC++ start, saturation
+at the socket bandwidth, renewed scaling on the second socket, ~63%
+efficiency at 48 cores.
+
+Run:  pytest benchmarks/bench_fig1_scaling.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import fig1_series, format_table
+
+from conftest import once
+
+CORE_COUNTS = (1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48)
+
+
+def test_fig1_speedup_series(benchmark, model_n):
+    series = once(benchmark,
+                  lambda: fig1_series(core_counts=CORE_COUNTS, n=model_n))
+
+    headers = ["cores"] + list(series)
+    rows = []
+    for index, cores in enumerate(CORE_COUNTS):
+        rows.append([cores] + [f"{points[index][1]:5.1f}"
+                               for points in series.values()])
+    print()
+    print(format_table(headers, rows,
+                       "Fig. 1 — speedup vs 1 core (precalculated, float)"))
+
+    for name, points in series.items():
+        speedups = dict(points)
+        benchmark.extra_info[f"{name} @48"] = round(speedups[48], 1)
+
+        # Monotone non-decreasing speedup.
+        values = [s for _, s in points]
+        assert all(b >= a - 1e-6 for a, b in zip(values, values[1:])), name
+        # Second socket resumes scaling.
+        assert speedups[48] > 1.4 * speedups[24], name
+        # Strong-scaling efficiency at 48 cores in the paper's band.
+        assert 0.45 < speedups[48] / 48.0 < 0.9, name
+
+    # OpenMP near-linear at low counts; DPC++ super-linear (slow 1-core
+    # baseline) — the two visual signatures of the paper's figure.
+    openmp = dict(series["OpenMP/SoA"])
+    dpcpp = dict(series["DPC++ NUMA/SoA"])
+    assert openmp[4] == pytest.approx(4.0, rel=0.2)
+    assert dpcpp[4] > 4.0

@@ -1,0 +1,53 @@
+"""In-text effect: "the first iteration takes 50% longer".
+
+The paper attributes the slow first iteration to JIT compilation of the
+kernel from its intermediate representation plus cold-memory effects
+(first-touch page placement).  The model reproduces both mechanisms;
+this benchmark reports the resulting ratio per configuration.
+
+Run:  pytest benchmarks/bench_first_iteration.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import model_push_nsps
+from repro.bench.scenarios import BenchmarkCase, PAPER_STEPS_PER_ITERATION
+from repro.bench.tables import PAPER_FIRST_ITERATION_RATIO
+from repro.fp import Precision
+from repro.particles import Layout
+
+from conftest import once
+
+
+@pytest.mark.parametrize("parallelization", ["DPC++", "DPC++ NUMA"])
+def test_first_iteration_slowdown(benchmark, model_n, parallelization):
+    case = BenchmarkCase("precalculated", Layout.SOA, Precision.SINGLE,
+                         parallelization)
+    result = once(benchmark, lambda: model_push_nsps(case, n=model_n))
+    ratio = result.first_iteration_ratio(PAPER_STEPS_PER_ITERATION)
+    benchmark.extra_info["first/steady iteration"] = round(ratio, 3)
+    benchmark.extra_info["paper"] = PAPER_FIRST_ITERATION_RATIO
+    print(f"\n{parallelization}: first iteration {ratio:.2f}x steady "
+          f"(paper ~{PAPER_FIRST_ITERATION_RATIO})")
+    assert 1.2 < ratio < 1.9
+
+
+def test_openmp_first_iteration_milder(benchmark, model_n):
+    """OpenMP pays first-touch but no JIT, so its warm-up is smaller —
+    the paper calls the DPC++ case 'an even more explicit form' of the
+    usual first-iteration effect."""
+    def ratios():
+        out = {}
+        for parallelization in ("OpenMP", "DPC++ NUMA"):
+            case = BenchmarkCase("precalculated", Layout.SOA,
+                                 Precision.SINGLE, parallelization)
+            result = model_push_nsps(case, n=model_n)
+            out[parallelization] = result.first_iteration_ratio(
+                PAPER_STEPS_PER_ITERATION)
+        return out
+
+    result = once(benchmark, ratios)
+    benchmark.extra_info.update(
+        {k: round(v, 3) for k, v in result.items()})
+    assert result["OpenMP"] < result["DPC++ NUMA"]
+    assert result["OpenMP"] > 1.0

@@ -1,0 +1,73 @@
+"""Real wall-clock benchmarks of the numpy Boris kernels on this host.
+
+Unlike the table-regeneration benchmarks (which use the calibrated
+device model), these measure the library's actual vectorized kernels
+with pytest-benchmark: layouts, precisions, scenarios, and the three
+relativistic pushers.  Numbers are machine-dependent; the *contrasts*
+(AoS strided views slower than SoA, double slower than float) mirror
+the paper's qualitative axes.
+
+Run:  pytest benchmarks/bench_real_kernels.py --benchmark-only
+"""
+
+import pytest
+
+from repro.bench import paper_time_step, paper_wave
+from repro.bench.scenarios import paper_ensemble
+from repro.core import get_pusher
+from repro.core.kernels import (boris_push_analytical,
+                                boris_push_precalculated)
+from repro.fields import PrecalculatedField
+from repro.fp import Precision
+from repro.particles import Layout
+
+N_REAL = 100_000
+
+
+@pytest.mark.parametrize("layout", [Layout.AOS, Layout.SOA],
+                         ids=["AoS", "SoA"])
+@pytest.mark.parametrize("precision", [Precision.SINGLE, Precision.DOUBLE],
+                         ids=["float", "double"])
+def test_push_precalculated(benchmark, layout, precision):
+    wave = paper_wave()
+    dt = paper_time_step()
+    ensemble = paper_ensemble(N_REAL, layout, precision)
+    precalc = PrecalculatedField.from_source(wave, ensemble, 0.0)
+    benchmark(boris_push_precalculated, ensemble, precalc, dt)
+    benchmark.extra_info["nsps"] = round(
+        benchmark.stats["mean"] * 1e9 / N_REAL, 2)
+
+
+@pytest.mark.parametrize("layout", [Layout.AOS, Layout.SOA],
+                         ids=["AoS", "SoA"])
+@pytest.mark.parametrize("precision", [Precision.SINGLE, Precision.DOUBLE],
+                         ids=["float", "double"])
+def test_push_analytical(benchmark, layout, precision):
+    wave = paper_wave()
+    dt = paper_time_step()
+    ensemble = paper_ensemble(N_REAL, layout, precision)
+    time_holder = [0.0]
+
+    def step():
+        boris_push_analytical(ensemble, wave, time_holder[0], dt)
+        time_holder[0] += dt
+
+    benchmark(step)
+    benchmark.extra_info["nsps"] = round(
+        benchmark.stats["mean"] * 1e9 / N_REAL, 2)
+
+
+@pytest.mark.parametrize("name", ["boris", "vay", "higuera-cary",
+                                  "boris-nonrel"])
+def test_pusher_comparison(benchmark, name):
+    """Relative cost of the alternative integrators (same field data)."""
+    wave = paper_wave()
+    dt = paper_time_step()
+    ensemble = paper_ensemble(N_REAL, Layout.SOA, Precision.DOUBLE)
+    fields = wave.evaluate(ensemble.component("x"),
+                           ensemble.component("y"),
+                           ensemble.component("z"), 0.0)
+    pusher = get_pusher(name)
+    benchmark(pusher.push, ensemble, fields, dt)
+    benchmark.extra_info["nsps"] = round(
+        benchmark.stats["mean"] * 1e9 / N_REAL, 2)

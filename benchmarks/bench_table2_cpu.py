@@ -1,0 +1,77 @@
+"""Regenerate Table 2: CPU NSPS for the 6 implementations.
+
+Each benchmark models one (layout, parallelization) row of the paper's
+Table 2 on the simulated 2x Xeon 8260L node and records modelled-vs-
+paper NSPS for all four (scenario, precision) columns in
+``extra_info``.  A final benchmark prints the full comparison table.
+
+Run:  pytest benchmarks/bench_table2_cpu.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import PAPER_TABLE2, comparison_table, model_push_nsps
+from repro.bench.scenarios import BenchmarkCase, CPU_PARALLELIZATIONS
+from repro.fp import Precision
+from repro.particles import Layout
+
+from conftest import once
+
+ROWS = [(layout, parallelization)
+        for layout in (Layout.AOS, Layout.SOA)
+        for parallelization in CPU_PARALLELIZATIONS]
+
+COLUMNS = [(scenario, precision)
+           for scenario in ("precalculated", "analytical")
+           for precision in (Precision.SINGLE, Precision.DOUBLE)]
+
+
+@pytest.mark.parametrize(
+    "layout,parallelization", ROWS,
+    ids=[f"{l.value}-{p.replace(' ', '_').replace('+', 'p')}"
+         for l, p in ROWS])
+def test_table2_row(benchmark, model_n, layout, parallelization):
+    def run_row():
+        row = {}
+        for scenario, precision in COLUMNS:
+            case = BenchmarkCase(scenario, layout, precision,
+                                 parallelization)
+            row[(scenario, precision.value)] = \
+                model_push_nsps(case, n=model_n).nsps
+        return row
+
+    row = once(benchmark, run_row)
+    paper_row = PAPER_TABLE2[(layout.value, parallelization)]
+    for key, model_value in row.items():
+        paper_value = paper_row[key]
+        benchmark.extra_info[f"model {key[0]}/{key[1]}"] = \
+            round(model_value, 3)
+        benchmark.extra_info[f"paper {key[0]}/{key[1]}"] = paper_value
+        # Shape check: every cell within 2x of the paper's measurement.
+        assert 0.5 < model_value / paper_value < 2.0
+
+
+def test_table2_full_comparison(benchmark, model_n):
+    """Model all 24 cells and print the side-by-side table."""
+    def run_table():
+        rows = {}
+        for layout, parallelization in ROWS:
+            row = {}
+            for scenario, precision in COLUMNS:
+                case = BenchmarkCase(scenario, layout, precision,
+                                     parallelization)
+                row[(scenario, precision.value)] = \
+                    model_push_nsps(case, n=model_n).nsps
+            rows[(layout.value, parallelization)] = row
+        return rows
+
+    rows = once(benchmark, run_table)
+    print()
+    print(comparison_table(rows, PAPER_TABLE2, "layout/impl",
+                           "Table 2 — CPU NSPS (model vs paper)"))
+    # The paper's finding 2: optimized DPC++ within ~10-30% of OpenMP.
+    for layout in ("AoS", "SoA"):
+        for column in rows[(layout, "OpenMP")]:
+            openmp = rows[(layout, "OpenMP")][column]
+            numa = rows[(layout, "DPC++ NUMA")][column]
+            assert numa / openmp < 1.45

@@ -1,0 +1,71 @@
+"""Regenerate Table 3: GPU NSPS of the unmodified DPC++ code.
+
+Single precision only (Iris Xe Max emulates doubles, as the paper
+notes).  Asserts the paper's qualitative GPU findings: layout matters
+(unlike on CPU), and each GPU's slowdown vs the 2-CPU node falls in the
+reported band.
+
+Run:  pytest benchmarks/bench_table3_gpu.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.bench import PAPER_TABLE3, comparison_table, model_push_nsps
+from repro.bench.scenarios import BenchmarkCase
+from repro.fp import Precision
+from repro.particles import Layout
+
+from conftest import once
+
+DEVICES = ("cpu", "p630", "iris-xe-max")
+
+
+def _model_cell(model_n, layout, scenario, device):
+    parallelization = "DPC++ NUMA" if device == "cpu" else device
+    case = BenchmarkCase(scenario, layout, Precision.SINGLE,
+                         parallelization)
+    return model_push_nsps(case, n=model_n).nsps
+
+
+@pytest.mark.parametrize("layout", [Layout.AOS, Layout.SOA],
+                         ids=["AoS", "SoA"])
+@pytest.mark.parametrize("device", DEVICES)
+def test_table3_cell(benchmark, model_n, layout, device):
+    def run_cell():
+        return {scenario: _model_cell(model_n, layout, scenario, device)
+                for scenario in ("precalculated", "analytical")}
+
+    cell = once(benchmark, run_cell)
+    for scenario, value in cell.items():
+        paper = PAPER_TABLE3[layout.value][(scenario, device)]
+        benchmark.extra_info[f"model {scenario}"] = round(value, 3)
+        benchmark.extra_info[f"paper {scenario}"] = paper
+        assert 0.5 < value / paper < 2.0
+
+
+def test_table3_full_comparison(benchmark, model_n):
+    def run_table():
+        rows = {}
+        for layout in (Layout.AOS, Layout.SOA):
+            rows[layout.value] = {
+                (scenario, device): _model_cell(model_n, layout,
+                                                scenario, device)
+                for scenario in ("precalculated", "analytical")
+                for device in DEVICES}
+        return rows
+
+    rows = once(benchmark, run_table)
+    print()
+    print(comparison_table(rows, PAPER_TABLE3, "layout",
+                           "Table 3 — GPU NSPS, single precision "
+                           "(model vs paper)"))
+
+    # Layout matters on GPUs ("run time may differ by more than half").
+    for device in ("p630", "iris-xe-max"):
+        aos = rows["AoS"][("precalculated", device)]
+        soa = rows["SoA"][("precalculated", device)]
+        assert aos / soa > 1.4
+    # Slowdown bands vs the 2-CPU node (paper: 3.5-4.5x and 1.7-2.6x).
+    cpu = rows["SoA"][("precalculated", "cpu")]
+    assert 3.0 < rows["SoA"][("precalculated", "p630")] / cpu < 6.5
+    assert 1.5 < rows["SoA"][("precalculated", "iris-xe-max")] / cpu < 3.5

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Two kinds of benchmarks coexist here:
+
+* *model* benchmarks regenerate the paper's tables/figures from the
+  calibrated device simulator; wall time is incidental, the paper
+  artefact lands in ``benchmark.extra_info`` and on stdout;
+* *real* benchmarks time the actual numpy kernels on this host
+  (honest measurements, machine-dependent).
+
+Model benchmarks default to a reduced particle count for speed; run
+with ``--paper-scale`` for the full 1e7 (virtual allocations, so memory
+stays flat).
+"""
+
+import pytest
+
+#: Reduced modelled particle count (still far beyond every cache).
+MODEL_N = 2_000_000
+
+#: Full paper particle count.
+PAPER_N = 10_000_000
+
+
+def pytest_addoption(parser):
+    parser.addoption("--paper-scale", action="store_true", default=False,
+                     help="model the full 1e7-particle working set")
+
+
+@pytest.fixture(scope="session")
+def model_n(request):
+    """Modelled particle count for table/figure regeneration."""
+    return PAPER_N if request.config.getoption("--paper-scale") else MODEL_N
+
+
+def once(benchmark, function):
+    """Run a deterministic model computation exactly once under the
+    benchmark fixture (repetition would only re-time the simulator)."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

@@ -1,0 +1,67 @@
+"""Tour of the simulated oneAPI runtime: layouts, runtimes, devices.
+
+Runs the *same* Boris kernel through the simulated DPC++ runtime in
+every configuration the paper measures — {AoS, SoA} x {OpenMP, DPC++,
+DPC++ NUMA} on the 2x Xeon 8260L node and DPC++ on both Intel GPUs —
+and prints the modelled NSPS next to the paper's value.  Also times the
+real numpy kernels on this host for an honest measured baseline.
+
+Run:  python examples/layout_and_devices.py
+"""
+
+from repro.bench import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    measure_real_nsps,
+    paper_time_step,
+    paper_wave,
+)
+from repro.bench.harness import model_push_nsps
+from repro.bench.scenarios import BenchmarkCase, paper_ensemble
+from repro.fp import Precision
+from repro.particles import Layout
+
+
+def modelled_tour() -> None:
+    print("modelled NSPS for the paper's configurations "
+          "(precalculated fields, single precision):")
+    print(f"{'configuration':32s} {'model':>7s} {'paper':>7s}")
+    for layout in (Layout.AOS, Layout.SOA):
+        for parallelization in ("OpenMP", "DPC++", "DPC++ NUMA"):
+            case = BenchmarkCase("precalculated", layout, Precision.SINGLE,
+                                 parallelization)
+            result = model_push_nsps(case, n=2_000_000)
+            paper = PAPER_TABLE2[(layout.value, parallelization)][
+                ("precalculated", "float")]
+            name = f"{layout.value}/{parallelization} on 2x Xeon 8260L"
+            print(f"{name:32s} {result.nsps:7.2f} {paper:7.2f}")
+        for device in ("p630", "iris-xe-max"):
+            case = BenchmarkCase("precalculated", layout, Precision.SINGLE,
+                                 device)
+            result = model_push_nsps(case, n=2_000_000)
+            paper = PAPER_TABLE3[layout.value][("precalculated", device)]
+            name = f"{layout.value}/DPC++ on {device}"
+            print(f"{name:32s} {result.nsps:7.2f} {paper:7.2f}")
+
+
+def measured_tour() -> None:
+    print("\nmeasured numpy-kernel NSPS on this host (100k particles):")
+    wave = paper_wave()
+    dt = paper_time_step()
+    for layout in (Layout.AOS, Layout.SOA):
+        for scenario in ("precalculated", "analytical"):
+            ensemble = paper_ensemble(100_000, layout, Precision.SINGLE)
+            result = measure_real_nsps(ensemble, scenario, wave, dt, steps=3)
+            print(f"  {layout.value}/{scenario:13s}: {result.nsps:8.1f} ns "
+                  f"per particle-step")
+
+
+def main() -> None:
+    modelled_tour()
+    measured_tour()
+    print("\n(model times come from the calibrated device simulator; "
+          "see DESIGN.md section 5)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Two-stream instability: the classic self-consistent PIC validation.
+
+Two cold counter-streaming electron beams are unstable: any density
+ripple grows exponentially at a rate set by the plasma frequency, until
+the beams trap each other and the field energy saturates.  Reproducing
+the linear growth rate exercises every part of the PIC loop at once —
+field solve, interpolation, push and charge-conserving deposition must
+all be consistent or the rate comes out wrong.
+
+For symmetric cold beams (+-v0, each carrying half the density) the
+fastest-growing mode sits at ``k v0 = sqrt(3/8) omega_p`` and grows at
+``omega_p / (2 sqrt(2)) ~ 0.354 omega_p``.
+
+The run uses the FFT-based field solver: free of the Courant limit, the
+time step is set by the physics (a fraction of the plasma period)
+instead of the grid light-crossing time — ~40x fewer steps than FDTD
+would need here.
+
+Run:  python examples/two_stream_instability.py
+"""
+
+import math
+
+import numpy as np
+
+import repro
+from repro.constants import ELECTRON_MASS, ELEMENTARY_CHARGE, SPEED_OF_LIGHT
+from repro.fields import YeeGrid
+from repro.pic import EnergyHistory, PicSimulation, plasma_frequency
+
+THEORY_RATE = 1.0 / (2.0 * math.sqrt(2.0))      # ~0.354 omega_p
+
+
+def build_beams(grid, box_length, v0, density, particles_per_cell, seed=0):
+    """Two quiet counter-streaming beams with a tiny seed ripple."""
+    rng = np.random.default_rng(seed)
+    n_per_beam = grid.dims[0] * particles_per_cell
+    gamma0 = 1.0 / math.sqrt(1.0 - (v0 / SPEED_OF_LIGHT) ** 2)
+    positions, momenta = [], []
+    for sign in (+1, -1):
+        xs = (np.arange(n_per_beam) + 0.5) * box_length / n_per_beam
+        xs = xs + 1.0e-3 * box_length * np.sin(
+            2.0 * math.pi * xs / box_length) * sign
+        ys = rng.uniform(0.0, grid.dims[1] * grid.spacing[1], n_per_beam)
+        zs = rng.uniform(0.0, grid.dims[2] * grid.spacing[2], n_per_beam)
+        p = np.zeros((n_per_beam, 3))
+        p[:, 0] = sign * gamma0 * ELECTRON_MASS * v0
+        positions.append(np.stack([xs, ys, zs], axis=1))
+        momenta.append(p)
+    positions = np.concatenate(positions)
+    momenta = np.concatenate(momenta)
+    n = positions.shape[0]
+    weight = density * grid.cell_volume * grid.num_cells / n
+    return repro.ParticleEnsemble.from_arrays(
+        positions, momenta, weights=np.full(n, weight))
+
+
+def run(density=1.0e18, v0_fraction=0.2, cells=32, particles_per_cell=32,
+        periods=15.0, seed=0):
+    """Run the instability; returns (times, field energies, omega_p)."""
+    omega_p = plasma_frequency(density, ELECTRON_MASS, ELEMENTARY_CHARGE)
+    v0 = v0_fraction * SPEED_OF_LIGHT
+    # Box resonant with the fastest-growing mode: k L = 2 pi.
+    k_fastest = math.sqrt(3.0 / 8.0) * omega_p / v0
+    box_length = 2.0 * math.pi / k_fastest
+    dx = box_length / cells
+    grid = YeeGrid((0.0, 0.0, 0.0), (dx, dx, dx), (cells, 2, 2))
+    electrons = build_beams(grid, box_length, v0, density,
+                            particles_per_cell, seed)
+    dt = 0.1 / omega_p                     # physics-limited, super-CFL
+    simulation = PicSimulation(grid, electrons, dt,
+                               field_solver="spectral")
+    history = EnergyHistory()
+    steps = int(periods * 2.0 * math.pi / omega_p / dt)
+    simulation.run(steps, energy_history=history)
+    return np.asarray(history.times), np.asarray(history.field), omega_p
+
+
+def fit_growth_rate(times, field_energy):
+    """Exponential growth rate of the field amplitude (not energy)."""
+    peak = field_energy.max()
+    before_peak = np.arange(field_energy.size) < field_energy.argmax()
+    window = (field_energy > 1.0e-4 * peak) & (field_energy < 0.05 * peak) \
+        & before_peak
+    slope = np.polyfit(times[window], np.log(field_energy[window]), 1)[0]
+    return slope / 2.0                      # energy ~ amplitude^2
+
+
+def main() -> None:
+    times, field_energy, omega_p = run()
+    rate = fit_growth_rate(times, field_energy)
+    growth = field_energy.max() / field_energy[1]
+    print("two-stream instability (cold symmetric beams, v0 = 0.2c):")
+    print(f"  field energy grew by a factor {growth:.1e} before saturating")
+    print(f"  measured growth rate: {rate / omega_p:.3f} omega_p")
+    print(f"  cold-beam theory:     {THEORY_RATE:.3f} omega_p "
+          f"({100 * abs(rate / omega_p - THEORY_RATE) / THEORY_RATE:.0f}% "
+          f"off at this resolution)")
+
+    # Crude saturation picture: energy history on a log scale.
+    samples = np.linspace(0, len(times) - 1, 16).astype(int)
+    floor = field_energy.max() * 1e-8
+    for index in samples:
+        level = max(field_energy[index], floor)
+        bar = "#" * int(4 * math.log10(level / floor))
+        print(f"  t = {times[index] * omega_p / (2 * math.pi):5.1f} T_p  "
+              f"{bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Physics analysis tools built on the core library.
+
+Currently: the particle-escape study that motivates the paper's
+benchmark (:mod:`repro.analysis.escape`).
+"""
+
+from .escape import (
+    EscapeCurve,
+    remaining_fraction,
+    run_escape_study,
+    escape_rate_sweep,
+)
+
+__all__ = [
+    "EscapeCurve",
+    "remaining_fraction",
+    "run_escape_study",
+    "escape_rate_sweep",
+]

@@ -1,0 +1,223 @@
+"""Experiment runners for every table and figure of the paper.
+
+Each public function regenerates one artefact:
+
+* :func:`table2_rows` — Table 2 (CPU NSPS, 6 implementations x 2
+  scenarios x 2 precisions);
+* :func:`table3_rows` — Table 3 (GPU NSPS, single precision);
+* :func:`fig1_series` — Fig. 1 (strong-scaling speedup, 1-48 cores);
+* :func:`first_iteration_ratio` — the in-text "first iteration takes
+  50% longer";
+* :func:`thread_sweep` — the in-text "96 threads is empirically best"
+  hyperthreading observation.
+
+All runners work on the *modelled* device times (the paper's hardware
+does not exist here); the real numpy kernels can be measured separately
+via :func:`repro.bench.metrics.measure_real_nsps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..fields.dipole import MDipoleWave
+from ..fp import Precision
+from ..oneapi.device import DeviceDescriptor
+from ..oneapi.queue import Queue, RuntimeConfig
+from ..oneapi.runtime import build_virtual_push_spec
+from ..particles.ensemble import Layout
+from .calibration import cost_model_for, device_by_name, xeon_8260l_node
+from .metrics import nsps_from_records
+from .scenarios import (BenchmarkCase, CPU_PARALLELIZATIONS,
+                        PAPER_PARTICLES, PAPER_STEPS_PER_ITERATION,
+                        runtime_config_for)
+
+__all__ = ["ModelResult", "model_push_nsps", "table2_rows", "table3_rows",
+           "fig1_series", "first_iteration_ratio", "thread_sweep"]
+
+#: Modelled launches per experiment cell: enough to get past first-touch
+#: and JIT warm-up plus a few steady-state samples.
+DEFAULT_MODEL_STEPS = 6
+
+
+@dataclass
+class ModelResult:
+    """Modelled NSPS of one benchmark cell."""
+
+    case: BenchmarkCase
+    nsps: float
+    first_launch_nsps: float
+    steady_launch_seconds: float
+    first_launch_seconds: float
+    bound: str
+
+    def first_iteration_ratio(self,
+                              steps: int = PAPER_STEPS_PER_ITERATION
+                              ) -> float:
+        """Modelled (first iteration time) / (steady iteration time).
+
+        An "iteration" is ``steps`` launches; only the first launch of
+        the first iteration carries JIT and cold-page costs.
+        """
+        steady_iteration = steps * self.steady_launch_seconds
+        first_iteration = (self.first_launch_seconds
+                           + (steps - 1) * self.steady_launch_seconds)
+        return first_iteration / steady_iteration
+
+
+def _device_for(case: BenchmarkCase) -> DeviceDescriptor:
+    if case.parallelization in CPU_PARALLELIZATIONS:
+        return xeon_8260l_node()
+    return device_by_name(case.parallelization)
+
+
+def _config_for(case: BenchmarkCase,
+                units: Optional[int] = None,
+                threads_per_unit: Optional[int] = None) -> RuntimeConfig:
+    if case.parallelization in CPU_PARALLELIZATIONS:
+        return runtime_config_for(case.parallelization, units,
+                                  threads_per_unit)
+    return RuntimeConfig(runtime="dpcpp")
+
+
+def model_push_nsps(case: BenchmarkCase,
+                    n: int = PAPER_PARTICLES,
+                    steps: int = DEFAULT_MODEL_STEPS,
+                    units: Optional[int] = None,
+                    threads_per_unit: Optional[int] = None) -> ModelResult:
+    """Model one benchmark cell and return its NSPS figures.
+
+    ``units``/``threads_per_unit`` restrict the CPU core count (for the
+    Fig. 1 sweep); None uses the whole device.
+    """
+    if steps < 3:
+        raise ConfigurationError("need at least 3 launches (warm-up + steady)")
+    device = _device_for(case)
+    queue = Queue(device, _config_for(case, units, threads_per_unit),
+                  cost_model_for(device))
+    field_flops = (MDipoleWave.flops_per_evaluation
+                   if case.scenario == "analytical" else 0.0)
+    spec = build_virtual_push_spec(n, case.layout, case.precision,
+                                   case.scenario, queue.memory,
+                                   field_flops=field_flops)
+    records = [queue.parallel_for(n, spec, precision=case.precision)
+               for _ in range(steps)]
+    steady = nsps_from_records(records)
+    return ModelResult(
+        case=case,
+        nsps=steady,
+        first_launch_nsps=records[0].nsps(),
+        steady_launch_seconds=steady * 1.0e-9 * n,
+        first_launch_seconds=records[0].simulated_seconds,
+        bound=records[-1].timing.bound,
+    )
+
+
+def table2_rows(n: int = PAPER_PARTICLES,
+                steps: int = DEFAULT_MODEL_STEPS
+                ) -> Dict[Tuple[str, str], Dict[Tuple[str, str], float]]:
+    """Regenerate Table 2: modelled CPU NSPS for all 24 cells.
+
+    Returns ``rows[(layout, parallelization)][(scenario, precision)]``.
+    """
+    rows: Dict[Tuple[str, str], Dict[Tuple[str, str], float]] = {}
+    for layout in (Layout.AOS, Layout.SOA):
+        for parallelization in CPU_PARALLELIZATIONS:
+            row: Dict[Tuple[str, str], float] = {}
+            for scenario in ("precalculated", "analytical"):
+                for precision in (Precision.SINGLE, Precision.DOUBLE):
+                    case = BenchmarkCase(scenario, layout, precision,
+                                         parallelization)
+                    row[(scenario, precision.value)] = \
+                        model_push_nsps(case, n, steps).nsps
+            rows[(layout.value, parallelization)] = row
+    return rows
+
+
+def table3_rows(n: int = PAPER_PARTICLES,
+                steps: int = DEFAULT_MODEL_STEPS
+                ) -> Dict[str, Dict[Tuple[str, str], float]]:
+    """Regenerate Table 3: modelled single-precision NSPS on GPUs vs CPU.
+
+    The "CPU" column is the same DPC++ NUMA build the paper carried
+    over from Table 2.  Returns ``rows[layout][(scenario, device)]``.
+    """
+    rows: Dict[str, Dict[Tuple[str, str], float]] = {}
+    for layout in (Layout.AOS, Layout.SOA):
+        row: Dict[Tuple[str, str], float] = {}
+        for scenario in ("precalculated", "analytical"):
+            for device_name in ("cpu", "p630", "iris-xe-max"):
+                parallelization = ("DPC++ NUMA" if device_name == "cpu"
+                                   else device_name)
+                case = BenchmarkCase(scenario, layout, Precision.SINGLE,
+                                     parallelization)
+                row[(scenario, device_name)] = \
+                    model_push_nsps(case, n, steps).nsps
+        rows[layout.value] = row
+    return rows
+
+
+def fig1_series(core_counts: Optional[Sequence[int]] = None,
+                n: int = PAPER_PARTICLES,
+                steps: int = DEFAULT_MODEL_STEPS
+                ) -> Dict[str, List[Tuple[int, float]]]:
+    """Regenerate Fig. 1: strong-scaling speedup on 1-48 cores.
+
+    Precalculated fields, single precision, OpenMP and DPC++ NUMA, AoS
+    and SoA; 2 threads per core (the paper binds both hyperthreads).
+    Speedup is relative to the same implementation on one core.
+    Returns ``series["OpenMP/AoS"] = [(cores, speedup), ...]``.
+    """
+    if core_counts is None:
+        core_counts = (1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48)
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for parallelization in ("OpenMP", "DPC++ NUMA"):
+        for layout in (Layout.AOS, Layout.SOA):
+            case = BenchmarkCase("precalculated", layout, Precision.SINGLE,
+                                 parallelization)
+            base = model_push_nsps(case, n, steps, units=1,
+                                   threads_per_unit=2).nsps
+            points = []
+            for cores in core_counts:
+                result = model_push_nsps(case, n, steps, units=cores,
+                                         threads_per_unit=2)
+                points.append((cores, base / result.nsps))
+            series[f"{parallelization}/{layout.value}"] = points
+    return series
+
+
+def first_iteration_ratio(n: int = PAPER_PARTICLES,
+                          steps: int = DEFAULT_MODEL_STEPS,
+                          steps_per_iteration: int =
+                          PAPER_STEPS_PER_ITERATION) -> float:
+    """Modelled first-iteration slowdown of the paper's DPC++ benchmark.
+
+    The paper: "the first iteration takes 50% longer time than the
+    subsequent ones" (JIT + cold memory).  Returns the modelled ratio
+    for the DPC++ NUMA / SoA / float / precalculated configuration.
+    """
+    case = BenchmarkCase("precalculated", Layout.SOA, Precision.SINGLE,
+                         "DPC++ NUMA")
+    return model_push_nsps(case, n, steps).first_iteration_ratio(
+        steps_per_iteration)
+
+
+def thread_sweep(n: int = PAPER_PARTICLES,
+                 steps: int = DEFAULT_MODEL_STEPS
+                 ) -> Dict[int, float]:
+    """NSPS of the OpenMP build at 48 vs 96 threads (hyperthreading).
+
+    The paper: "employing 96 threads is empirically the best, that is,
+    the use of hyperthreading technology improves performance".
+    Returns ``{48: nsps, 96: nsps}``.
+    """
+    case = BenchmarkCase("precalculated", Layout.SOA, Precision.SINGLE,
+                         "OpenMP")
+    return {
+        48: model_push_nsps(case, n, steps, units=48,
+                            threads_per_unit=1).nsps,
+        96: model_push_nsps(case, n, steps, units=48,
+                            threads_per_unit=2).nsps,
+    }

@@ -1,0 +1,119 @@
+"""The paper's benchmark setup and implementation matrix.
+
+Experimental setup (Section 5.2): 1e7 electrons initially at rest,
+uniform in a sphere of radius 0.6 lambda, pushed through the standing
+m-dipole wave of power 0.1 PW for 1e3 time steps per "iteration", 10
+iterations measured, NSPS = nanoseconds per particle per step.
+
+The paper does not state the time step explicitly; we use 1/100 of the
+wave period (a conventional choice that resolves the 2.1e15 1/s
+oscillation comfortably) — NSPS is insensitive to dt, so this only
+matters for the physics examples.
+
+Implementations (Table 2): {AoS, SoA} x {OpenMP, DPC++, DPC++ NUMA};
+plus the two GPUs for Table 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..fields.dipole import MDipoleWave
+from ..fp import Precision
+from ..oneapi.queue import RuntimeConfig
+from ..particles.ensemble import Layout
+from ..particles.initializers import paper_benchmark_ensemble
+
+__all__ = ["PAPER_PARTICLES", "PAPER_STEPS_PER_ITERATION",
+           "PAPER_ITERATIONS", "paper_wave", "paper_time_step",
+           "paper_ensemble", "BenchmarkCase", "CPU_PARALLELIZATIONS",
+           "SCENARIO_LABELS", "runtime_config_for"]
+
+#: Particles in the paper's runs.
+PAPER_PARTICLES = 10_000_000
+
+#: Time steps per measured "iteration".
+PAPER_STEPS_PER_ITERATION = 1_000
+
+#: Measured iterations per experiment.
+PAPER_ITERATIONS = 10
+
+#: Display labels of the two scenarios, keyed by the internal name.
+SCENARIO_LABELS = {"precalculated": "Precalculated Fields",
+                   "analytical": "Analytical Fields"}
+
+#: The three CPU parallelisations of Table 2.
+CPU_PARALLELIZATIONS = ("OpenMP", "DPC++", "DPC++ NUMA")
+
+
+def paper_wave() -> MDipoleWave:
+    """The benchmark field: 0.1 PW m-dipole wave at 2.1e15 1/s."""
+    return MDipoleWave()
+
+
+def paper_time_step(fraction_of_period: float = 0.01) -> float:
+    """Time step as a fraction of the wave period [s]."""
+    if fraction_of_period <= 0.0:
+        raise ConfigurationError("fraction_of_period must be positive")
+    period = 2.0 * math.pi / MDipoleWave.PAPER_OMEGA
+    return period * fraction_of_period
+
+
+def paper_ensemble(n: int, layout: Layout = Layout.SOA,
+                   precision: Precision = Precision.SINGLE,
+                   seed: Optional[int] = 0):
+    """The paper's initial electron ensemble, scaled to ``n`` particles."""
+    return paper_benchmark_ensemble(n, layout=layout, precision=precision,
+                                    seed=seed)
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One cell of the paper's result tables.
+
+    ``parallelization`` is one of :data:`CPU_PARALLELIZATIONS` for CPU
+    runs, or a GPU device name ("p630", "iris-xe-max") for Table 3.
+    """
+
+    scenario: str
+    layout: Layout
+    precision: Precision
+    parallelization: str
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIO_LABELS:
+            raise ConfigurationError(
+                f"scenario must be one of {tuple(SCENARIO_LABELS)}, "
+                f"got {self.scenario!r}")
+
+    @property
+    def label(self) -> str:
+        return (f"{self.layout.value}/{self.parallelization}/"
+                f"{SCENARIO_LABELS[self.scenario]}/{self.precision.value}")
+
+
+def runtime_config_for(parallelization: str,
+                       units: Optional[int] = None,
+                       threads_per_unit: Optional[int] = None
+                       ) -> RuntimeConfig:
+    """RuntimeConfig for one of the paper's CPU parallelisations.
+
+    OpenMP uses the empirically best 96 threads (2 per core, the
+    paper's hyperthreading observation); DPC++ lets "TBB select the
+    thread count", which on this node is also all hardware threads.
+    """
+    if parallelization == "OpenMP":
+        return RuntimeConfig(runtime="openmp", units=units,
+                             threads_per_unit=threads_per_unit)
+    if parallelization == "DPC++":
+        return RuntimeConfig(runtime="dpcpp", cpu_places="",
+                             units=units, threads_per_unit=threads_per_unit)
+    if parallelization == "DPC++ NUMA":
+        return RuntimeConfig(runtime="dpcpp", cpu_places="numa_domains",
+                             units=units, threads_per_unit=threads_per_unit)
+    raise ConfigurationError(
+        f"unknown parallelization {parallelization!r}; expected one of "
+        f"{CPU_PARALLELIZATIONS}")

@@ -1,0 +1,108 @@
+"""Text rendering of the regenerated tables, plus the paper's values.
+
+``PAPER_TABLE2`` / ``PAPER_TABLE3`` transcribe the paper's measured
+NSPS so the harness can print model-vs-paper comparisons and the test
+suite can assert the qualitative claims (orderings, ratios) hold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["PAPER_TABLE2", "PAPER_TABLE3", "PAPER_FIRST_ITERATION_RATIO",
+           "format_table", "comparison_table"]
+
+#: Table 2 of the paper: NSPS on the 2-CPU node.
+#: Keys: (layout, parallelization) -> (scenario, precision) -> NSPS.
+PAPER_TABLE2: Dict[Tuple[str, str], Dict[Tuple[str, str], float]] = {
+    ("AoS", "OpenMP"): {
+        ("precalculated", "float"): 0.53, ("precalculated", "double"): 0.98,
+        ("analytical", "float"): 0.58, ("analytical", "double"): 0.84,
+    },
+    ("AoS", "DPC++"): {
+        ("precalculated", "float"): 0.78, ("precalculated", "double"): 1.54,
+        ("analytical", "float"): 1.02, ("analytical", "double"): 1.48,
+    },
+    ("AoS", "DPC++ NUMA"): {
+        ("precalculated", "float"): 0.54, ("precalculated", "double"): 0.99,
+        ("analytical", "float"): 0.54, ("analytical", "double"): 0.89,
+    },
+    ("SoA", "OpenMP"): {
+        ("precalculated", "float"): 0.50, ("precalculated", "double"): 1.06,
+        ("analytical", "float"): 0.43, ("analytical", "double"): 0.76,
+    },
+    ("SoA", "DPC++"): {
+        ("precalculated", "float"): 0.85, ("precalculated", "double"): 1.49,
+        ("analytical", "float"): 0.77, ("analytical", "double"): 1.31,
+    },
+    ("SoA", "DPC++ NUMA"): {
+        ("precalculated", "float"): 0.58, ("precalculated", "double"): 1.20,
+        ("analytical", "float"): 0.60, ("analytical", "double"): 0.90,
+    },
+}
+
+#: Table 3 of the paper: single-precision NSPS, DPC++ code on GPUs.
+#: Keys: layout -> (scenario, device) -> NSPS.
+PAPER_TABLE3: Dict[str, Dict[Tuple[str, str], float]] = {
+    "AoS": {
+        ("precalculated", "cpu"): 0.54,
+        ("precalculated", "p630"): 4.76,
+        ("precalculated", "iris-xe-max"): 2.10,
+        ("analytical", "cpu"): 0.54,
+        ("analytical", "p630"): 4.45,
+        ("analytical", "iris-xe-max"): 2.10,
+    },
+    "SoA": {
+        ("precalculated", "cpu"): 0.58,
+        ("precalculated", "p630"): 2.43,
+        ("precalculated", "iris-xe-max"): 1.42,
+        ("analytical", "cpu"): 0.60,
+        ("analytical", "p630"): 1.93,
+        ("analytical", "iris-xe-max"): 1.00,
+    },
+}
+
+#: In-text: "the first iteration takes 50% longer time than the
+#: subsequent ones".
+PAPER_FIRST_ITERATION_RATIO = 1.5
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "") -> str:
+    """Render a fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def comparison_table(model: Dict, paper: Dict, row_label: str,
+                     title: str = "") -> str:
+    """Render model-vs-paper NSPS side by side for one table's rows.
+
+    ``model`` and ``paper`` share the nested dict structure produced by
+    :func:`repro.bench.harness.table2_rows` / ``table3_rows``.
+    """
+    columns = sorted({key for row in paper.values() for key in row})
+    headers = [row_label] + [f"{c[0][:7]}/{c[1][:6]}" for c in columns]
+    rows = []
+    for row_key in paper:
+        label = "/".join(row_key) if isinstance(row_key, tuple) else row_key
+        cells = [label]
+        for column in columns:
+            m = model[row_key][column]
+            p = paper[row_key][column]
+            cells.append(f"{m:5.2f} ({p:4.2f})")
+        rows.append(cells)
+    note = "model NSPS with the paper's value in parentheses"
+    table = format_table(headers, rows, title)
+    return f"{table}\n[{note}]"

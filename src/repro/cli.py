@@ -1,0 +1,234 @@
+"""Command-line interface: regenerate any of the paper's artefacts.
+
+Usage::
+
+    python -m repro table2            # Table 2 (CPU NSPS, model vs paper)
+    python -m repro table3            # Table 3 (GPU NSPS, model vs paper)
+    python -m repro fig1              # Fig. 1 (scaling speedup series)
+    python -m repro first-iter        # in-text first-iteration effect
+    python -m repro threads           # in-text hyperthreading effect
+    python -m repro measure           # real numpy kernel NSPS on this host
+    python -m repro devices           # simulated device inventory
+
+``--particles`` scales the modelled ensemble (default: the paper's
+1e7; the model is O(1) in memory, so the default is cheap).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import (
+    DEVICE_NAMES,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    comparison_table,
+    device_by_name,
+    fig1_series,
+    first_iteration_ratio,
+    format_table,
+    measure_real_nsps,
+    paper_time_step,
+    paper_wave,
+    table2_rows,
+    table3_rows,
+    thread_sweep,
+)
+from .bench.scenarios import paper_ensemble
+from .fp import Precision
+from .particles.ensemble import Layout
+
+__all__ = ["main"]
+
+
+def _cmd_table2(args: argparse.Namespace) -> None:
+    rows = table2_rows(n=args.particles)
+    print(comparison_table(rows, PAPER_TABLE2, "layout/impl",
+                           "Table 2 — CPU NSPS, 6 implementations"))
+
+
+def _cmd_table3(args: argparse.Namespace) -> None:
+    rows = table3_rows(n=args.particles)
+    print(comparison_table(rows, PAPER_TABLE3, "layout",
+                           "Table 3 — GPU NSPS (single precision)"))
+
+
+def _cmd_fig1(args: argparse.Namespace) -> None:
+    series = fig1_series(n=args.particles)
+    headers = ["cores"] + list(series)
+    core_counts = [c for c, _ in next(iter(series.values()))]
+    rows = []
+    for i, cores in enumerate(core_counts):
+        rows.append([cores] + [f"{points[i][1]:.1f}"
+                               for points in series.values()])
+    print(format_table(headers, rows,
+                       "Fig. 1 — speedup vs single core "
+                       "(precalculated fields, float)"))
+    last = {name: points[-1][1] for name, points in series.items()}
+    for name, speedup in last.items():
+        print(f"{name}: {speedup:.1f}x at 48 cores "
+              f"({100 * speedup / 48:.0f}% efficiency; paper reports ~63%)")
+
+
+def _cmd_first_iter(args: argparse.Namespace) -> None:
+    ratio = first_iteration_ratio(n=args.particles)
+    print(f"first iteration / steady iteration = {ratio:.2f} "
+          f"(paper: ~1.5)")
+
+
+def _cmd_threads(args: argparse.Namespace) -> None:
+    result = thread_sweep(n=args.particles)
+    print(format_table(
+        ["threads", "NSPS"],
+        [[t, f"{v:.3f}"] for t, v in sorted(result.items())],
+        "Hyperthreading sweep — OpenMP, precalculated, float"))
+    best = min(result, key=result.get)
+    print(f"best: {best} threads (paper: 96 threads is empirically best)")
+
+
+def _cmd_measure(args: argparse.Namespace) -> None:
+    wave = paper_wave()
+    dt = paper_time_step()
+    rows = []
+    for layout in (Layout.AOS, Layout.SOA):
+        for precision in (Precision.SINGLE, Precision.DOUBLE):
+            for scenario in ("precalculated", "analytical"):
+                ensemble = paper_ensemble(args.measure_particles,
+                                          layout, precision)
+                result = measure_real_nsps(ensemble, scenario, wave, dt,
+                                           steps=args.measure_steps)
+                rows.append([layout.value, precision.value, scenario,
+                             f"{result.nsps:.2f}"])
+    print(format_table(
+        ["layout", "precision", "scenario", "NSPS"], rows,
+        f"Measured numpy-kernel NSPS on this host "
+        f"({args.measure_particles} particles)"))
+
+
+def _cmd_escape(args: argparse.Namespace) -> None:
+    from .analysis import run_escape_study
+    curve = run_escape_study(args.power_pw * 1.0e22,
+                             n_particles=args.escape_particles,
+                             cycles=args.cycles,
+                             samples_per_cycle=2,
+                             steps_per_cycle=200)
+    rows = [[f"{t:.1f}", f"{fraction:.3f}"]
+            for t, fraction in zip(curve.times, curve.fractions)]
+    print(format_table(["t / T", "remaining"], rows,
+                       f"Escape from the focal region at "
+                       f"{args.power_pw} PW"))
+    print(f"escape rate: {curve.escape_rate():.2f} per cycle, "
+          f"max gamma {curve.max_gamma:.0f}")
+
+
+def _cmd_roofline(args: argparse.Namespace) -> None:
+    from .oneapi import UsmMemoryManager, analyze_kernel
+    from .oneapi.runtime import build_virtual_push_spec
+    from .fields import MDipoleWave
+
+    rows = []
+    for device_name in DEVICE_NAMES:
+        device = device_by_name(device_name)
+        for scenario in ("precalculated", "analytical"):
+            field_flops = (MDipoleWave.flops_per_evaluation
+                           if scenario == "analytical" else 0.0)
+            spec = build_virtual_push_spec(
+                1_000_000, Layout.SOA, Precision.SINGLE, scenario,
+                UsmMemoryManager(), field_flops=field_flops)
+            point = analyze_kernel(spec, device, Precision.SINGLE)
+            rows.append([
+                device_name, scenario,
+                f"{point.arithmetic_intensity:.2f}",
+                f"{point.ridge_intensity:.2f}",
+                "memory" if point.memory_bound else "compute",
+                f"{point.predicted_nsps:.2f}",
+            ])
+    print(format_table(
+        ["device", "scenario", "flops/byte", "ridge", "bound",
+         "roofline NSPS"],
+        rows, "Roofline analysis — Boris push, SoA, single precision"))
+    print("(the paper's explanation — 'the problem is memory bound' — "
+          "holds left of each ridge)")
+
+
+def _cmd_validate(args: argparse.Namespace) -> None:
+    from .bench.validation import validate_against_paper
+    report = validate_against_paper(n=args.particles)
+    print(report.render())
+    if not report.all_passed:
+        raise SystemExit(1)
+
+
+def _cmd_devices(args: argparse.Namespace) -> None:
+    rows = []
+    for name in DEVICE_NAMES:
+        device = device_by_name(name)
+        rows.append([
+            name, device.name, device.compute_units,
+            device.numa_domains,
+            f"{device.peak_flops(Precision.SINGLE) / 1e12:.2f} TF",
+            f"{device.total_bandwidth / 1e9:.0f} GB/s",
+        ])
+    print(format_table(
+        ["key", "device", "units", "domains", "peak SP", "bandwidth"],
+        rows, "Simulated devices (paper Table 1)"))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the Boris-on-"
+                    "DPC++ paper from the simulated oneAPI runtime.")
+    parser.add_argument("--particles", type=int, default=10_000_000,
+                        help="modelled particle count (default: the "
+                             "paper's 1e7)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table2", help="Table 2: CPU NSPS")
+    sub.add_parser("table3", help="Table 3: GPU NSPS")
+    sub.add_parser("fig1", help="Fig. 1: strong-scaling speedup")
+    sub.add_parser("first-iter", help="first-iteration slowdown")
+    sub.add_parser("threads", help="hyperthreading sweep")
+    measure = sub.add_parser("measure",
+                             help="time the real numpy kernels here")
+    measure.add_argument("--measure-particles", type=int, default=200_000)
+    measure.add_argument("--measure-steps", type=int, default=5)
+    escape = sub.add_parser("escape",
+                            help="particle-escape physics study")
+    escape.add_argument("--power-pw", type=float, default=0.1,
+                        help="wave power in PW (paper: 0.1)")
+    escape.add_argument("--escape-particles", type=int, default=5_000)
+    escape.add_argument("--cycles", type=int, default=5)
+    sub.add_parser("roofline",
+                   help="arithmetic-intensity analysis per device")
+    sub.add_parser("validate",
+                   help="check every paper claim against the model")
+    sub.add_parser("devices", help="list simulated devices")
+    return parser
+
+
+_COMMANDS = {
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "fig1": _cmd_fig1,
+    "first-iter": _cmd_first_iter,
+    "threads": _cmd_threads,
+    "measure": _cmd_measure,
+    "escape": _cmd_escape,
+    "roofline": _cmd_roofline,
+    "validate": _cmd_validate,
+    "devices": _cmd_devices,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Physical constants and unit helpers in Gaussian (CGS) units.
+
+The Hi-Chi code that the paper ports works in Gaussian units, where the
+Lorentz force reads ``F = q (E + v x B / c)`` and electric and magnetic
+fields share the same unit (statvolt/cm == gauss).  All of :mod:`repro`
+follows that convention.
+
+Values are CODATA-2018, expressed in CGS:
+
+* lengths in centimetres,
+* times in seconds,
+* masses in grams,
+* charges in statcoulombs (esu),
+* energies in ergs.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum [cm/s].
+SPEED_OF_LIGHT = 2.99792458e10
+
+#: Elementary charge magnitude [statC].  The electron charge is
+#: ``-ELEMENTARY_CHARGE``.
+ELEMENTARY_CHARGE = 4.80320471257e-10
+
+#: Electron rest mass [g].
+ELECTRON_MASS = 9.1093837015e-28
+
+#: Proton rest mass [g].
+PROTON_MASS = 1.67262192369e-24
+
+#: Planck constant [erg*s] (not used by the pusher, provided for field
+#: normalisation helpers and examples).
+PLANCK_CONSTANT = 6.62607015e-27
+
+#: One electronvolt [erg].
+ELECTRON_VOLT = 1.602176634e-12
+
+#: One watt expressed in CGS power units [erg/s].
+WATT = 1.0e7
+
+#: One petawatt [erg/s].
+PETAWATT = 1.0e15 * WATT
+
+#: One micrometre [cm].
+MICRON = 1.0e-4
+
+
+def wavelength_to_frequency(wavelength: float) -> float:
+    """Return the angular frequency [1/s] of light of ``wavelength`` [cm].
+
+    >>> round(wavelength_to_frequency(0.9e-4) / 1e15, 2)
+    2.09
+    """
+    if wavelength <= 0.0:
+        raise ValueError(f"wavelength must be positive, got {wavelength!r}")
+    return 2.0 * math.pi * SPEED_OF_LIGHT / wavelength
+
+
+def frequency_to_wavelength(omega: float) -> float:
+    """Return the vacuum wavelength [cm] for angular frequency ``omega`` [1/s]."""
+    if omega <= 0.0:
+        raise ValueError(f"omega must be positive, got {omega!r}")
+    return 2.0 * math.pi * SPEED_OF_LIGHT / omega
+
+
+def relativistic_field_amplitude(omega: float,
+                                 mass: float = ELECTRON_MASS,
+                                 charge: float = ELEMENTARY_CHARGE) -> float:
+    """Return the relativistic field scale ``m c omega / |q|`` [statvolt/cm].
+
+    A wave of this amplitude accelerates a particle of the given mass and
+    charge to relativistic momentum within one optical cycle; it is the
+    natural yard-stick for "are the fields relativistic" questions such
+    as the paper's choice of the P = 0.1 PW benchmark.
+    """
+    if omega <= 0.0:
+        raise ValueError(f"omega must be positive, got {omega!r}")
+    if mass <= 0.0:
+        raise ValueError(f"mass must be positive, got {mass!r}")
+    if charge == 0.0:
+        raise ValueError("charge must be non-zero")
+    return mass * SPEED_OF_LIGHT * omega / abs(charge)
+
+
+def cyclotron_frequency(field: float,
+                        gamma: float = 1.0,
+                        mass: float = ELECTRON_MASS,
+                        charge: float = ELEMENTARY_CHARGE) -> float:
+    """Return the (relativistic) cyclotron frequency ``|q| B / (gamma m c)`` [1/s]."""
+    if gamma < 1.0:
+        raise ValueError(f"gamma must be >= 1, got {gamma!r}")
+    if mass <= 0.0:
+        raise ValueError(f"mass must be positive, got {mass!r}")
+    return abs(charge) * abs(field) / (gamma * mass * SPEED_OF_LIGHT)

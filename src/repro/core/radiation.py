@@ -1,0 +1,142 @@
+"""Radiation-reaction-corrected Boris pusher (Landau-Lifshitz).
+
+An extension beyond the paper's kernel, motivated by its own context:
+the benchmark's power (0.1 PW) is chosen *below* the regime where
+"radiative trapping effects [Gonoskov et al., PRL 113, 014801]" set in,
+and the surrounding research programme (vacuum breakdown at 10 PW)
+needs radiation reaction.  This module adds the standard classical
+treatment used in PIC codes:
+
+* the relativistic Larmor power in the particle's fields,
+
+  ``P = (2 e^4) / (3 m^2 c^3) * gamma^2 * [(E + beta x B)^2 - (beta . E)^2]``
+
+* applied as a continuous friction ``dp/dt = -(P / (v c^2)) * v``
+  after each Boris step (leading Landau-Lifshitz term, the only one
+  that matters for gamma >> 1);
+* optionally scaled by the quantum suppression factor ``g(chi)``
+  (Baier-Katkov fit), with the quantum parameter
+  ``chi = gamma * sqrt((E + beta x B)^2 - (beta . E)^2) / E_S``
+  available as a diagnostic.
+
+Registered in the pusher registry as ``"boris-ll"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import ELEMENTARY_CHARGE, ELECTRON_MASS, PLANCK_CONSTANT, \
+    SPEED_OF_LIGHT
+from ..fields.base import FieldValues
+from ..particles.ensemble import ParticleEnsemble
+from .boris import boris_push
+from .pushers import MomentumPusher, register_pusher
+
+__all__ = ["SCHWINGER_FIELD", "radiated_power", "quantum_chi",
+           "gaunt_factor", "RadiationReactionPusher"]
+
+#: The Schwinger (critical) field ``m^2 c^3 / (e hbar)`` [statvolt/cm].
+SCHWINGER_FIELD = (ELECTRON_MASS ** 2 * SPEED_OF_LIGHT ** 3
+                   / (ELEMENTARY_CHARGE
+                      * (PLANCK_CONSTANT / (2.0 * np.pi))))
+
+
+def _field_invariant(ensemble: ParticleEnsemble,
+                     fields: FieldValues) -> np.ndarray:
+    """``(E + beta x B)^2 - (beta . E)^2`` per particle (>= 0).
+
+    This is the squared "effective field" that drives both the
+    radiated power and the quantum parameter chi.
+    """
+    vel = ensemble.velocities() / SPEED_OF_LIGHT
+    bx, by, bz = (np.asarray(fields.bx, dtype=np.float64),
+                  np.asarray(fields.by, dtype=np.float64),
+                  np.asarray(fields.bz, dtype=np.float64))
+    ex, ey, ez = (np.asarray(fields.ex, dtype=np.float64),
+                  np.asarray(fields.ey, dtype=np.float64),
+                  np.asarray(fields.ez, dtype=np.float64))
+    fx = ex + vel[:, 1] * bz - vel[:, 2] * by
+    fy = ey + vel[:, 2] * bx - vel[:, 0] * bz
+    fz = ez + vel[:, 0] * by - vel[:, 1] * bx
+    beta_dot_e = vel[:, 0] * ex + vel[:, 1] * ey + vel[:, 2] * ez
+    invariant = fx * fx + fy * fy + fz * fz - beta_dot_e ** 2
+    return np.maximum(invariant, 0.0)
+
+
+def radiated_power(ensemble: ParticleEnsemble,
+                   fields: FieldValues) -> np.ndarray:
+    """Classical synchrotron power per particle [erg/s].
+
+    ``P = (2 q^4) / (3 m^2 c^3) * gamma^2 * [(E + beta x B)^2 - (beta.E)^2]``
+    """
+    charge = ensemble.charges()
+    mass = ensemble.masses()
+    gamma = ensemble.component("gamma").astype(np.float64)
+    coefficient = 2.0 * charge ** 4 / (3.0 * mass ** 2 * SPEED_OF_LIGHT ** 3)
+    return coefficient * gamma ** 2 * _field_invariant(ensemble, fields)
+
+
+def quantum_chi(ensemble: ParticleEnsemble,
+                fields: FieldValues) -> np.ndarray:
+    """Quantum nonlinearity parameter chi per particle (dimensionless).
+
+    chi << 1: classical radiation reaction is adequate; chi ~ 1:
+    photon recoil matters (the 10-PW regime of the group's vacuum
+    breakdown studies).
+    """
+    gamma = ensemble.component("gamma").astype(np.float64)
+    effective = np.sqrt(_field_invariant(ensemble, fields))
+    return gamma * effective / SCHWINGER_FIELD
+
+
+def gaunt_factor(chi: np.ndarray) -> np.ndarray:
+    """Quantum suppression g(chi) of the classically radiated power.
+
+    Baier-Katkov fit used widely in QED-PIC codes:
+    ``g = [1 + 4.8 (1 + chi) ln(1 + 1.7 chi) + 2.44 chi^2]^(-2/3)``.
+    ``g(0) = 1`` (classical limit), decreasing with chi.
+    """
+    chi_arr = np.asarray(chi, dtype=np.float64)
+    return (1.0 + 4.8 * (1.0 + chi_arr) * np.log1p(1.7 * chi_arr)
+            + 2.44 * chi_arr ** 2) ** (-2.0 / 3.0)
+
+
+@register_pusher
+class RadiationReactionPusher(MomentumPusher):
+    """Boris push plus Landau-Lifshitz radiative friction.
+
+    Args:
+        quantum_corrected: Scale the classical power by
+            :func:`gaunt_factor` (recommended once chi approaches ~0.1).
+    """
+
+    name = "boris-ll"
+
+    def __init__(self, quantum_corrected: bool = False) -> None:
+        self.quantum_corrected = bool(quantum_corrected)
+
+    def push(self, ensemble: ParticleEnsemble, fields: FieldValues,
+             dt: float) -> None:
+        boris_push(ensemble, fields, dt)
+        self._apply_friction(ensemble, fields, dt)
+
+    def _apply_friction(self, ensemble: ParticleEnsemble,
+                        fields: FieldValues, dt: float) -> None:
+        power = radiated_power(ensemble, fields)
+        if self.quantum_corrected:
+            power = power * gaunt_factor(quantum_chi(ensemble, fields))
+        gamma = ensemble.component("gamma").astype(np.float64)
+        mass = ensemble.masses()
+        # dp = -(P / c^2) * v * dt with v = p / (gamma m); expressed as
+        # a relative momentum decrement so direction is preserved.
+        decrement = power * dt / (gamma * mass * SPEED_OF_LIGHT ** 2)
+        # A full-momentum loss in one step means dt is far too large for
+        # the radiation timescale; clamp to keep p physical (the test
+        # suite never hits this, it guards user misconfiguration).
+        factor = np.maximum(1.0 - decrement, 0.0)
+        dtype = ensemble.precision.dtype
+        for component in ("px", "py", "pz"):
+            view = ensemble.component(component)
+            view[:] = (view.astype(np.float64) * factor).astype(dtype)
+        ensemble.update_gammas()

@@ -1,0 +1,41 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with inconsistent or invalid parameters."""
+
+
+class LayoutError(ReproError):
+    """A particle-storage layout operation was invalid (e.g. mixing
+    ensembles with different layouts or precisions)."""
+
+
+class DeviceError(ReproError):
+    """A simulated oneAPI device or queue was used incorrectly."""
+
+
+class MemoryModelError(DeviceError):
+    """A USM allocation or access violated the simulated memory model."""
+
+
+class KernelError(DeviceError):
+    """A kernel submission failed (bad range, unbound buffers, ...)."""
+
+
+class FieldError(ReproError):
+    """A field source was evaluated outside its domain of validity."""
+
+
+class SimulationError(ReproError):
+    """A PIC simulation reached an invalid state (NaNs, CFL violation, ...)."""

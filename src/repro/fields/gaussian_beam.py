@@ -1,0 +1,104 @@
+"""Paraxial Gaussian beam — the conventional focused-pulse comparator.
+
+The paper's research context is *ultimate* focusing: the m-dipole wave
+is the field that maximises focal intensity for given power (refs
+[20][24]).  The natural object to compare against is the standard
+paraxial Gaussian (TEM00) beam every laser lab quotes.  This module
+implements it so examples and studies can contrast "4-pi dipole
+focusing" with conventional lens focusing at the same power.
+
+The beam propagates along +x, is linearly polarised along y, and uses
+the usual paraxial envelope::
+
+    E_y = E0 (w0 / w) exp(-r_perp^2 / w^2)
+          cos(k x - omega t + k r_perp^2 / (2 R) - psi)
+    B_z = E_y
+
+with waist ``w(x)``, Gouy phase ``psi(x)`` and curvature ``R(x)``.
+Paraxial fields satisfy Maxwell's equations only to first order in
+``1 / (k w0)`` (they lack the longitudinal components); the tests check
+the residual scales accordingly, and the class refuses waists below one
+wavelength where the expansion breaks down entirely.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..constants import SPEED_OF_LIGHT
+from ..errors import ConfigurationError
+from .base import FieldSource, FieldValues
+
+__all__ = ["GaussianBeam"]
+
+
+class GaussianBeam(FieldSource):
+    """Linearly polarised paraxial TEM00 beam focused at the origin.
+
+    Args:
+        power: Cycle-averaged beam power [erg/s].
+        omega: Angular frequency [1/s].
+        waist: 1/e^2 intensity radius at focus ``w0`` [cm]; must be at
+            least one wavelength for the paraxial form to make sense.
+    """
+
+    flops_per_evaluation = 120
+
+    def __init__(self, power: float, omega: float, waist: float) -> None:
+        if power <= 0.0:
+            raise ConfigurationError(f"power must be positive, got {power!r}")
+        if omega <= 0.0:
+            raise ConfigurationError(f"omega must be positive, got {omega!r}")
+        wavelength = 2.0 * math.pi * SPEED_OF_LIGHT / omega
+        if waist < wavelength:
+            raise ConfigurationError(
+                f"waist ({waist:.3g} cm) must be >= one wavelength "
+                f"({wavelength:.3g} cm) for a paraxial beam")
+        self.power = float(power)
+        self.omega = float(omega)
+        self.waist = float(waist)
+        # P = (c / 8 pi) E0^2 (pi w0^2 / 2)  =>  E0 = sqrt(16 P / (c w0^2)).
+        self.amplitude = math.sqrt(16.0 * self.power
+                                   / (SPEED_OF_LIGHT * self.waist ** 2))
+
+    @property
+    def wavenumber(self) -> float:
+        """``k = omega / c`` [1/cm]."""
+        return self.omega / SPEED_OF_LIGHT
+
+    @property
+    def rayleigh_range(self) -> float:
+        """``x_R = k w0^2 / 2`` [cm]."""
+        return 0.5 * self.wavenumber * self.waist ** 2
+
+    def beam_radius(self, x: np.ndarray) -> np.ndarray:
+        """``w(x) = w0 sqrt(1 + (x / x_R)^2)``."""
+        ratio = np.asarray(x, dtype=np.float64) / self.rayleigh_range
+        return self.waist * np.sqrt(1.0 + ratio * ratio)
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, z: np.ndarray,
+                 t: float) -> FieldValues:
+        xv = np.asarray(x, dtype=np.float64)
+        yv = np.asarray(y, dtype=np.float64)
+        zv = np.asarray(z, dtype=np.float64)
+        r2 = yv * yv + zv * zv
+        x_r = self.rayleigh_range
+        w = self.beam_radius(xv)
+        gouy = np.arctan2(xv, x_r)
+        # 1/R = x / (x^2 + x_R^2): regular through the focus.
+        inv_radius = xv / (xv * xv + x_r * x_r)
+        k = self.wavenumber
+        phase = (k * xv - self.omega * t
+                 + 0.5 * k * r2 * inv_radius - gouy)
+        envelope = (self.amplitude * (self.waist / w)
+                    * np.exp(-r2 / (w * w)))
+        ey = envelope * np.cos(phase)
+        zero = np.zeros_like(xv)
+        return FieldValues(zero, ey, zero.copy(),
+                           zero.copy(), zero.copy(), ey.copy())
+
+    def peak_field(self) -> float:
+        """Focal field amplitude ``E0`` [statvolt/cm]."""
+        return self.amplitude

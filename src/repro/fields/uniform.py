@@ -1,0 +1,86 @@
+"""Uniform and crossed constant fields (validation workhorses).
+
+These have closed-form particle trajectories (Larmor gyration, constant
+acceleration, E-cross-B drift), so the test suite uses them to validate
+every pusher against exact solutions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import FieldSource, FieldValues
+
+__all__ = ["NullField", "UniformField", "CrossedField"]
+
+
+class NullField(FieldSource):
+    """Zero field everywhere: free streaming."""
+
+    flops_per_evaluation = 0
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, z: np.ndarray,
+                 t: float) -> FieldValues:
+        zero = np.zeros_like(np.asarray(x, dtype=np.float64))
+        return FieldValues(zero, zero.copy(), zero.copy(),
+                           zero.copy(), zero.copy(), zero.copy())
+
+
+class UniformField(FieldSource):
+    """Constant, homogeneous E and B."""
+
+    flops_per_evaluation = 0
+
+    def __init__(self, e: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+                 b: Tuple[float, float, float] = (0.0, 0.0, 0.0)) -> None:
+        self._e = tuple(float(v) for v in e)
+        self._b = tuple(float(v) for v in b)
+        if len(self._e) != 3 or len(self._b) != 3:
+            raise ConfigurationError("e and b must be length-3 tuples")
+
+    @property
+    def e(self) -> Tuple[float, float, float]:
+        """The constant electric field vector."""
+        return self._e
+
+    @property
+    def b(self) -> Tuple[float, float, float]:
+        """The constant magnetic field vector."""
+        return self._b
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, z: np.ndarray,
+                 t: float) -> FieldValues:
+        shape = np.asarray(x).shape
+        return FieldValues(
+            np.full(shape, self._e[0]), np.full(shape, self._e[1]),
+            np.full(shape, self._e[2]), np.full(shape, self._b[0]),
+            np.full(shape, self._b[1]), np.full(shape, self._b[2]))
+
+
+class CrossedField(UniformField):
+    """Perpendicular uniform E and B: classic E-cross-B drift setup.
+
+    ``E = (e, 0, 0)``, ``B = (0, 0, b)``; the drift velocity is
+    ``v_d = c E x B / B^2 = (0, -c e / b, 0)``.  Requires ``|e| < |b|``
+    so the drift stays sub-luminal.
+    """
+
+    def __init__(self, e: float, b: float) -> None:
+        if b == 0.0:
+            raise ConfigurationError("CrossedField requires non-zero B")
+        if abs(e) >= abs(b):
+            raise ConfigurationError(
+                f"CrossedField requires |E| < |B| for a sub-luminal drift; "
+                f"got |E|={abs(e)!r}, |B|={abs(b)!r}")
+        super().__init__(e=(e, 0.0, 0.0), b=(0.0, 0.0, b))
+
+    @property
+    def drift_velocity(self) -> Tuple[float, float, float]:
+        """The E-cross-B drift velocity ``c E x B / B^2`` [cm/s]."""
+        from ..constants import SPEED_OF_LIGHT
+        ex = self.e[0]
+        bz = self.b[2]
+        return (0.0, -SPEED_OF_LIGHT * ex / bz, 0.0)

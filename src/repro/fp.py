@@ -1,0 +1,158 @@
+"""Floating-point precision abstraction (``FP``) and 3-vectors (``FP3``).
+
+The Hi-Chi C++ code abstracts its floating-point type as ``FP`` (either
+``float`` or ``double``, selected at build time) and uses an ``FP3``
+3-component vector throughout.  This module provides the Python
+equivalents:
+
+* :class:`Precision` — the single/double switch.  Vectorized kernels
+  receive it to select a numpy dtype; the simulated cost model receives
+  it to account for per-particle byte footprints.
+* :class:`FP3` — a small scalar 3-vector used by the *reference* (scalar,
+  particle-at-a-time) implementations, mirroring the C++ data structures
+  one-to-one so that the scalar Boris pusher reads like the paper's
+  listing.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = ["Precision", "FP3"]
+
+
+class Precision(enum.Enum):
+    """Floating-point precision of particle data and kernels.
+
+    The member values match the column labels of the paper's Table 2
+    ("float" / "double").
+    """
+
+    SINGLE = "float"
+    DOUBLE = "double"
+
+    @property
+    def dtype(self) -> np.dtype:
+        """numpy dtype used for particle components at this precision."""
+        return np.dtype(np.float32 if self is Precision.SINGLE else np.float64)
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per scalar component (4 or 8)."""
+        return int(self.dtype.itemsize)
+
+    @property
+    def particle_bytes(self) -> int:
+        """Unaligned bytes of one ``Particle`` record.
+
+        Position (3 FP) + momentum (3 FP) + weight (FP) + gamma (FP)
+        + type (int16): 34 bytes in single precision, 66 in double —
+        exactly the figures in Section 3 of the paper.
+        """
+        return 8 * self.itemsize + 2
+
+    @property
+    def particle_bytes_aligned(self) -> int:
+        """Bytes of one ``Particle`` record after alignment padding.
+
+        36 bytes in single precision and 72 in double, matching the
+        paper (alignment to the FP size).
+        """
+        size = self.particle_bytes
+        align = self.itemsize
+        return ((size + align - 1) // align) * align
+
+    @property
+    def epsilon(self) -> float:
+        """Machine epsilon of the underlying dtype."""
+        return float(np.finfo(self.dtype).eps)
+
+    @classmethod
+    def from_dtype(cls, dtype: np.dtype | type) -> "Precision":
+        """Return the precision matching a numpy ``dtype``.
+
+        Raises :class:`ConfigurationError` for anything that is not
+        float32 or float64.
+        """
+        dt = np.dtype(dtype)
+        if dt == np.float32:
+            return cls.SINGLE
+        if dt == np.float64:
+            return cls.DOUBLE
+        raise ConfigurationError(f"unsupported floating-point dtype: {dt}")
+
+
+@dataclass
+class FP3:
+    """A mutable 3-component vector of Python floats.
+
+    Mirrors Hi-Chi's ``FP3``.  Used by the scalar reference kernels where
+    clarity beats speed; the production kernels operate on numpy arrays.
+    """
+
+    x: float = 0.0
+    y: float = 0.0
+    z: float = 0.0
+
+    def __add__(self, other: "FP3") -> "FP3":
+        return FP3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "FP3") -> "FP3":
+        return FP3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __neg__(self) -> "FP3":
+        return FP3(-self.x, -self.y, -self.z)
+
+    def __mul__(self, scalar: float) -> "FP3":
+        return FP3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "FP3":
+        return FP3(self.x / scalar, self.y / scalar, self.z / scalar)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+        yield self.z
+
+    def dot(self, other: "FP3") -> float:
+        """Scalar product."""
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "FP3") -> "FP3":
+        """Vector product ``self x other``."""
+        return FP3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.sqrt(self.dot(self))
+
+    def norm2(self) -> float:
+        """Squared Euclidean length."""
+        return self.dot(self)
+
+    def as_array(self, dtype: np.dtype | type = np.float64) -> np.ndarray:
+        """Return a length-3 numpy array copy of this vector."""
+        return np.array([self.x, self.y, self.z], dtype=dtype)
+
+    @classmethod
+    def from_array(cls, array: "np.ndarray | tuple | list") -> "FP3":
+        """Build an :class:`FP3` from any length-3 sequence."""
+        x, y, z = (float(v) for v in array)
+        return cls(x, y, z)
+
+    def copy(self) -> "FP3":
+        """Return an independent copy."""
+        return FP3(self.x, self.y, self.z)

@@ -1,0 +1,172 @@
+"""The buffer/accessor memory model (the paper's first USM alternative).
+
+Section 4.2: "The first method involves the use of special concepts —
+buffers, which allow us to define regions of memory that can be used on
+the device, and accessors, which allow us to plan access to data and
+their movement between devices."  The paper chose USM instead; this
+module implements the buffer model so both of DPC++'s memory-management
+styles exist in the simulator and can be compared.
+
+Semantics modelled:
+
+* a :class:`Buffer` owns a host numpy array and tracks whether the
+  host copy and each device copy are current;
+* :meth:`Buffer.get_access` declares intent (read / write /
+  read_write / discard_write) and returns an :class:`Accessor`;
+* submitting a kernel with accessors
+  (:meth:`~repro.oneapi.queue.Queue.submit`, added by this module's
+  companion change) triggers the host-to-device copies the declared
+  accesses require; reading on the host (:meth:`Buffer.host_data`)
+  triggers the device-to-host write-back.  Each transfer is charged at
+  the device's ``host_transfer_bandwidth`` and counted.
+
+For CPUs and integrated GPUs the transfer bandwidth is effectively
+infinite (shared DRAM), so the buffer model costs only its bookkeeping
+— matching the practical observation that buffers vs USM is a
+programming-style choice there, while discrete devices pay real copy
+time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import MemoryModelError
+
+__all__ = ["AccessMode", "Accessor", "Buffer"]
+
+
+class AccessMode(enum.Enum):
+    """Declared intent of a kernel's access to a buffer."""
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read_write"
+    #: Write that overwrites everything: skips the host-to-device copy.
+    DISCARD_WRITE = "discard_write"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.READ_WRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self is not AccessMode.READ
+
+
+class Buffer:
+    """A host array whose device copies are managed by the runtime."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        array = np.asarray(data)
+        if array.size == 0:
+            raise MemoryModelError("cannot create a buffer over an empty array")
+        self._host = array
+        self.name = name or f"buffer-{id(self):x}"
+        #: Device name -> whether that device's copy is current.
+        self._device_valid: Dict[str, bool] = {}
+        self._host_valid = True
+        #: Device holding the newest data when the host copy is stale.
+        self._owner: Optional[str] = None
+        self.bytes_to_device = 0
+        self.bytes_to_host = 0
+        self.transfers_to_device = 0
+        self.transfers_to_host = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the buffer [bytes]."""
+        return int(self._host.nbytes)
+
+    @property
+    def shape(self):
+        """Shape of the underlying array."""
+        return self._host.shape
+
+    def get_access(self, mode: AccessMode, device_name: str) -> "Accessor":
+        """Declare a kernel access from ``device_name``; returns the accessor.
+
+        Performs the coherence actions the SYCL runtime would: copy the
+        newest data to the device if the kernel reads (unless the device
+        copy is already valid), and invalidate other copies if it
+        writes.  Returns an accessor whose ``transfer_bytes`` records
+        what had to move for this access.
+        """
+        if not isinstance(mode, AccessMode):
+            raise MemoryModelError(f"mode must be an AccessMode, got {mode!r}")
+        transfer = 0
+        device_current = self._device_valid.get(device_name, False)
+        if mode.reads and not device_current:
+            # Newest data is on the host or another device; either way
+            # it moves through the host in this model.
+            if not self._host_valid:
+                self._sync_to_host()
+                transfer += self.nbytes
+            transfer += self.nbytes
+            self.bytes_to_device += self.nbytes
+            self.transfers_to_device += 1
+        if mode is AccessMode.DISCARD_WRITE:
+            transfer = 0        # nothing needs to move for a full overwrite
+        if mode.writes:
+            # This device now owns the newest data.
+            self._device_valid = {device_name: True}
+            self._host_valid = False
+            self._owner = device_name
+        else:
+            self._device_valid[device_name] = True
+        return Accessor(self, mode, device_name, transfer)
+
+    def _sync_to_host(self) -> None:
+        self.bytes_to_host += self.nbytes
+        self.transfers_to_host += 1
+        self._host_valid = True
+
+    def host_data(self, write: bool = False) -> np.ndarray:
+        """The host array, after any required device-to-host write-back.
+
+        Pass ``write=True`` when the caller will modify the array (a
+        SYCL ``host_accessor`` with write mode): device copies are then
+        invalidated so the next kernel re-uploads.  The simulated
+        kernels operate on the host array directly, so "write-back" is
+        pure accounting — the counters tell you what a real runtime
+        would have copied.
+        """
+        if not self._host_valid:
+            self._sync_to_host()
+        if write:
+            self._device_valid = {}
+            self._owner = None
+        return self._host
+
+    @property
+    def host_is_current(self) -> bool:
+        """Whether reading on the host would require a write-back."""
+        return self._host_valid
+
+    def __repr__(self) -> str:
+        return (f"Buffer(name={self.name!r}, nbytes={self.nbytes}, "
+                f"host_valid={self._host_valid}, owner={self._owner!r})")
+
+
+class Accessor:
+    """One declared access of one kernel to one buffer."""
+
+    def __init__(self, buffer: Buffer, mode: AccessMode, device_name: str,
+                 transfer_bytes: int) -> None:
+        self.buffer = buffer
+        self.mode = mode
+        self.device_name = device_name
+        #: Bytes the runtime had to move to honour this access.
+        self.transfer_bytes = int(transfer_bytes)
+
+    @property
+    def data(self) -> np.ndarray:
+        """The array a kernel body reads/writes through this accessor."""
+        return self.buffer._host
+
+    def __repr__(self) -> str:
+        return (f"Accessor({self.buffer.name!r}, {self.mode.value}, "
+                f"on {self.device_name!r}, moved {self.transfer_bytes} B)")

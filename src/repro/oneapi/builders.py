@@ -1,0 +1,126 @@
+"""Convenience builders for device descriptors.
+
+The calibrated Table-1 devices live in :mod:`repro.bench.calibration`;
+these builders let downstream users describe *their own* hardware from
+datasheet-level numbers (cores, clock, memory channels, EU counts) with
+sensible Skylake/Gen9-era defaults for the micro-architectural
+constants, so the cost model can predict NSPS on machines the paper
+never touched.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .device import DeviceDescriptor, DeviceType
+
+__all__ = ["make_cpu_descriptor", "make_gpu_descriptor"]
+
+#: Fraction of theoretical DDR bandwidth a mixed read/write kernel
+#: typically sustains (STREAM-like).
+_DDR_EFFICIENCY = 0.62
+
+
+def make_cpu_descriptor(name: str,
+                        cores_per_socket: int,
+                        sockets: int = 1,
+                        clock_ghz: float = 2.4,
+                        flops_per_cycle_sp: float = 32.0,
+                        memory_channels: int = 6,
+                        channel_gbps: float = 23.5,
+                        hyperthreading: bool = True,
+                        l3_mb_per_socket: float = 32.0,
+                        single_core_gbps: float = 5.0,
+                        interconnect_gbps: float = 55.0,
+                        vector_efficiency: float = 0.25,
+                        ) -> DeviceDescriptor:
+    """Build a multi-socket x86 CPU descriptor from datasheet numbers.
+
+    Args:
+        name: Display name.
+        cores_per_socket: Physical cores per socket.
+        sockets: NUMA domains.
+        clock_ghz: Sustained all-core clock under vector load.
+        flops_per_cycle_sp: Peak SP flops per core-cycle (32 for one
+            AVX-512 FMA pipe, 64 for two).
+        memory_channels: DDR channels per socket.
+        channel_gbps: Theoretical GB/s per channel (23.5 for DDR4-2933).
+        hyperthreading: Two hardware threads per core.
+        l3_mb_per_socket: Last-level cache per socket [MB].
+        single_core_gbps: Bandwidth one core can extract alone [GB/s].
+        interconnect_gbps: Cross-socket (UPI/IF) bandwidth [GB/s].
+        vector_efficiency: Fraction of peak the target loop sustains.
+    """
+    if cores_per_socket < 1 or sockets < 1:
+        raise ConfigurationError("cores_per_socket and sockets must be >= 1")
+    domain_bandwidth = (memory_channels * channel_gbps * 1.0e9
+                        * _DDR_EFFICIENCY)
+    return DeviceDescriptor(
+        name=name,
+        device_type=DeviceType.CPU,
+        compute_units=cores_per_socket * sockets,
+        threads_per_unit=2 if hyperthreading else 1,
+        numa_domains=sockets,
+        clock_hz=clock_ghz * 1.0e9,
+        flops_per_cycle_sp=flops_per_cycle_sp,
+        dp_throughput_ratio=0.5,
+        vector_efficiency=vector_efficiency,
+        domain_bandwidth=domain_bandwidth,
+        interconnect_bandwidth=interconnect_gbps * 1.0e9,
+        unit_bandwidth=single_core_gbps * 1.0e9,
+        smt_bandwidth_boost=1.25 if hyperthreading else 1.0,
+        smt_domain_efficiency=0.88 if hyperthreading else 1.0,
+        cache_per_domain=l3_mb_per_socket * 1.0e6,
+    )
+
+
+def make_gpu_descriptor(name: str,
+                        execution_units: int,
+                        clock_ghz: float,
+                        memory_gbps: float,
+                        flops_per_cycle_sp: float = 16.0,
+                        threads_per_eu: int = 7,
+                        dp_throughput_ratio: float = 0.25,
+                        l3_mb: float = 1.0,
+                        discrete: bool = False,
+                        pcie_gbps: float = 12.0,
+                        vector_efficiency: float = 0.5,
+                        ) -> DeviceDescriptor:
+    """Build an Intel-style GPU descriptor from datasheet numbers.
+
+    Args:
+        name: Display name.
+        execution_units: EU count.
+        clock_ghz: Boost clock under load.
+        memory_gbps: Achievable device-memory bandwidth [GB/s].
+        flops_per_cycle_sp: SP flops per EU-cycle (16 on Gen9/Gen11/Xe).
+        threads_per_eu: Hardware threads per EU.
+        dp_throughput_ratio: DP:SP throughput (use ~0.03 for emulated).
+        l3_mb: GPU L3 [MB].
+        discrete: True for PCIe-attached cards; buffer transfers are
+            then charged at ``pcie_gbps``.
+        pcie_gbps: Host link bandwidth for discrete cards [GB/s].
+        vector_efficiency: Fraction of peak the target kernel sustains.
+    """
+    if execution_units < 1:
+        raise ConfigurationError("execution_units must be >= 1")
+    bandwidth = memory_gbps * 1.0e9
+    return DeviceDescriptor(
+        name=name,
+        device_type=DeviceType.GPU,
+        compute_units=execution_units,
+        threads_per_unit=threads_per_eu,
+        numa_domains=1,
+        clock_hz=clock_ghz * 1.0e9,
+        flops_per_cycle_sp=flops_per_cycle_sp,
+        dp_throughput_ratio=dp_throughput_ratio,
+        vector_efficiency=vector_efficiency,
+        domain_bandwidth=bandwidth,
+        interconnect_bandwidth=bandwidth,
+        unit_bandwidth=bandwidth,
+        smt_bandwidth_boost=1.0,
+        cache_per_domain=l3_mb * 1.0e6,
+        kernel_launch_overhead=15.0e-6,
+        jit_compile_seconds=0.3,
+        host_transfer_bandwidth=(pcie_gbps * 1.0e9 if discrete
+                                 else 1.0e15),
+    )

@@ -1,0 +1,96 @@
+"""SYCL-style events and the device timeline.
+
+DPC++ queues are out-of-order by default: independent kernels may
+overlap, and ordering is expressed through events
+(``handler.depends_on``) or buffer accessors.  The paper's ported code
+uses the simple serial pattern, but the simulator models the general
+semantics so scheduling experiments are possible:
+
+* every launch returns a :class:`SimEvent` carrying its *simulated*
+  start and end timestamps;
+* an in-order queue starts each launch when the previous one ends;
+* an out-of-order queue starts a launch as soon as its declared
+  dependencies have completed — independent launches run concurrently
+  on the timeline (device *throughput* contention within one launch is
+  already captured by the cost model; concurrent launches are assumed
+  to partition the device, which is the standard makespan abstraction).
+
+The queue's makespan (:attr:`Timeline.makespan`) is then the simulated
+wall time of the whole submission DAG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import DeviceError
+
+__all__ = ["SimEvent", "Timeline"]
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """Completion event of one simulated command.
+
+    Timestamps are seconds on the queue's simulated timeline.
+    """
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise DeviceError(
+                f"event {self.name!r} ends before it starts "
+                f"({self.end} < {self.start})")
+
+
+class Timeline:
+    """Tracks simulated command scheduling for one queue."""
+
+    def __init__(self, in_order: bool = False) -> None:
+        self.in_order = bool(in_order)
+        self._events: List[SimEvent] = []
+        self._last_end = 0.0
+
+    @property
+    def events(self) -> List[SimEvent]:
+        """All scheduled events, in submission order."""
+        return list(self._events)
+
+    @property
+    def makespan(self) -> float:
+        """End time of the last-finishing command."""
+        return max((e.end for e in self._events), default=0.0)
+
+    def schedule(self, name: str, duration: float,
+                 depends_on: Optional[Sequence[SimEvent]] = None
+                 ) -> SimEvent:
+        """Place a command of ``duration`` on the timeline.
+
+        In-order queues serialize after the previous command;
+        out-of-order queues start once all ``depends_on`` events have
+        completed (immediately if there are none).
+        """
+        if duration < 0.0:
+            raise DeviceError(f"duration must be >= 0, got {duration!r}")
+        deps_end = max((e.end for e in (depends_on or ())), default=0.0)
+        if self.in_order:
+            start = max(self._last_end, deps_end)
+        else:
+            start = deps_end
+        event = SimEvent(name=name, start=start, end=start + duration)
+        self._events.append(event)
+        self._last_end = event.end
+        return event
+
+    def reset(self) -> None:
+        """Clear the timeline (new measurement epoch)."""
+        self._events.clear()
+        self._last_end = 0.0

@@ -1,0 +1,237 @@
+"""SYCL-like queue: submit kernels, get real results and simulated times.
+
+A :class:`Queue` binds a simulated device, a cost model, a USM memory
+manager and a scheduling policy.  ``parallel_for`` optionally executes a
+real (vectorized numpy) kernel body — so the physics is genuine — while
+the launch is *timed* by the cost model against the declared
+:class:`~repro.oneapi.kernelspec.KernelSpec`.
+
+The queue also models the two runtimes the paper compares:
+
+* ``runtime="dpcpp"`` — TBB dynamic scheduling (or NUMA arenas when
+  ``RuntimeConfig.cpu_places == "numa_domains"``, the paper's
+  ``DPCPP_CPU_PLACES`` knob), kernel JIT on first launch;
+* ``runtime="openmp"`` — the reference implementation: static
+  scheduling, no JIT, no dynamic-runtime penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..errors import ConfigurationError, KernelError
+from ..fp import Precision
+from .costmodel import CostModel, LaunchTiming
+from .device import DeviceDescriptor, DeviceType
+from .events import SimEvent, Timeline
+from .kernelspec import KernelSpec
+from .memory import UsmMemoryManager
+from .scheduler import (DynamicScheduler, GpuScheduler, NumaArenaScheduler,
+                        Scheduler, StaticScheduler, ThreadTopology)
+
+__all__ = ["RuntimeConfig", "KernelLaunchRecord", "Queue"]
+
+#: Value of the environment variable the paper sets for NUMA arenas.
+NUMA_DOMAINS = "numa_domains"
+
+
+@dataclass
+class RuntimeConfig:
+    """Launch-time configuration of a queue.
+
+    Attributes:
+        runtime: "dpcpp" or "openmp" (the reference parallelisation).
+        cpu_places: "" or "numa_domains" — mirrors the
+            ``DPCPP_CPU_PLACES`` environment variable; only meaningful
+            for the dpcpp runtime on CPUs.
+        units: Compute units (cores) to use; None = all.
+        threads_per_unit: Hardware threads per unit; None = all
+            (hyperthreading on).
+        scheduler: Explicit scheduler override (None = derive from the
+            other fields).
+        in_order: Queue ordering semantics.  True serializes launches
+            (``sycl::queue{property::queue::in_order{}}`` — the
+            pattern the paper's port uses); False (DPC++'s default)
+            lets independent launches overlap on the simulated
+            timeline, ordered only by explicit ``depends_on`` events.
+    """
+
+    runtime: str = "dpcpp"
+    cpu_places: str = ""
+    units: Optional[int] = None
+    threads_per_unit: Optional[int] = None
+    scheduler: Optional[Scheduler] = None
+    in_order: bool = True
+
+    def __post_init__(self) -> None:
+        if self.runtime not in ("dpcpp", "openmp"):
+            raise ConfigurationError(
+                f"runtime must be 'dpcpp' or 'openmp', got {self.runtime!r}")
+        if self.cpu_places not in ("", NUMA_DOMAINS):
+            raise ConfigurationError(
+                f"cpu_places must be '' or {NUMA_DOMAINS!r}, "
+                f"got {self.cpu_places!r}")
+
+
+@dataclass
+class KernelLaunchRecord:
+    """One completed launch: what ran, on how many items, how long."""
+
+    kernel_name: str
+    n_items: int
+    precision: Precision
+    timing: LaunchTiming
+    #: Timeline placement (filled by the queue at submission).
+    event: Optional[SimEvent] = None
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Total simulated wall time of the launch."""
+        return self.timing.total_seconds
+
+    def nsps(self) -> float:
+        """Simulated nanoseconds per item for this launch."""
+        return self.timing.nsps(self.n_items)
+
+
+class Queue:
+    """An in-order queue on one simulated device."""
+
+    def __init__(self, device: DeviceDescriptor,
+                 config: Optional[RuntimeConfig] = None,
+                 cost_model: Optional[CostModel] = None) -> None:
+        self.device = device
+        self.config = config if config is not None else RuntimeConfig()
+        self.cost_model = cost_model if cost_model is not None \
+            else CostModel(device)
+        if self.cost_model.device is not device:
+            raise ConfigurationError(
+                "cost_model was built for a different device")
+        self.memory = UsmMemoryManager()
+        self.records: List[KernelLaunchRecord] = []
+        self.timeline = Timeline(in_order=self.config.in_order)
+        self._jit_cache: set = set()
+        self._topology = ThreadTopology(device, self.config.units,
+                                        self.config.threads_per_unit)
+        self._scheduler = self._make_scheduler()
+
+    def _make_scheduler(self) -> Scheduler:
+        if self.config.scheduler is not None:
+            return self.config.scheduler
+        if self.device.device_type is DeviceType.GPU:
+            return GpuScheduler()
+        if self.config.runtime == "openmp":
+            return StaticScheduler()
+        if self.config.cpu_places == NUMA_DOMAINS:
+            return NumaArenaScheduler()
+        return DynamicScheduler()
+
+    @property
+    def topology(self) -> ThreadTopology:
+        """Thread placement this queue launches kernels with."""
+        return self._topology
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """Scheduler derived from the runtime configuration."""
+        return self._scheduler
+
+    # -- USM convenience ----------------------------------------------------
+
+    def malloc_shared(self, shape, dtype, name: str = ""):
+        """Allocate a shared USM array on this queue."""
+        return self.memory.malloc_shared(shape, dtype, name)
+
+    # -- kernel submission ------------------------------------------------
+
+    def parallel_for(self, n_items: int, spec: KernelSpec,
+                     kernel: Optional[Callable[[], None]] = None,
+                     precision: Precision = Precision.DOUBLE,
+                     depends_on: Optional[List[SimEvent]] = None,
+                     ) -> KernelLaunchRecord:
+        """Launch a kernel over ``n_items`` work items.
+
+        ``kernel`` (if given) is a no-argument callable performing the
+        real vectorized work over the full range; it executes exactly
+        once.  The simulated time comes from the cost model and the
+        queue's scheduling policy.  JIT compile time is charged on the
+        first launch of each distinct ``spec.name`` under the dpcpp
+        runtime.  ``depends_on`` orders this launch after other
+        launches' events (only meaningful on out-of-order queues; an
+        in-order queue serializes regardless).
+        """
+        if n_items < 0:
+            raise KernelError(f"n_items must be >= 0, got {n_items}")
+        schedule = self._scheduler.schedule(n_items, self._topology)
+        jit_done = (self.config.runtime == "openmp"
+                    or spec.name in self._jit_cache)
+        timing = self.cost_model.time_launch(
+            spec, schedule, precision=precision, jit_compiled=jit_done)
+        self._jit_cache.add(spec.name)
+        if kernel is not None:
+            kernel()
+        event = self.timeline.schedule(spec.name, timing.total_seconds,
+                                       depends_on=depends_on)
+        record = KernelLaunchRecord(spec.name, n_items, precision, timing,
+                                    event=event)
+        self.records.append(record)
+        return record
+
+    def submit(self, n_items: int, spec: KernelSpec,
+               accessors,
+               kernel: Optional[Callable[[], None]] = None,
+               precision: Precision = Precision.DOUBLE,
+               ) -> KernelLaunchRecord:
+        """Launch a kernel declared through buffer accessors.
+
+        The buffer/accessor model of Section 4.2: each
+        :class:`~repro.oneapi.buffer.Accessor` carries the bytes the
+        runtime had to move to honour the declared access; those are
+        charged at the device's ``host_transfer_bandwidth`` on top of
+        the ordinary launch time.
+        """
+        record = self.parallel_for(n_items, spec, kernel=kernel,
+                                   precision=precision)
+        moved = sum(int(a.transfer_bytes) for a in accessors)
+        if moved:
+            transfer = moved / self.device.host_transfer_bandwidth
+            record.timing.transfer_seconds = transfer
+            record.timing.total_seconds += transfer
+        return record
+
+    def create_buffer(self, data, name: str = ""):
+        """Create a :class:`~repro.oneapi.buffer.Buffer` on this queue's
+        context (convenience mirroring ``sycl::buffer``)."""
+        from .buffer import Buffer
+        return Buffer(data, name=name)
+
+    def access(self, buffer, mode):
+        """Declare an access of this queue's device to ``buffer``."""
+        return buffer.get_access(mode, self.device.name)
+
+    def wait(self) -> None:
+        """Block until all submitted commands complete.
+
+        The simulation executes eagerly, so this only exists for API
+        familiarity; the simulated completion time is
+        ``timeline.makespan``."""
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def total_simulated_seconds(self) -> float:
+        """Sum of simulated times over all recorded launches."""
+        return sum(r.simulated_seconds for r in self.records)
+
+    def reset_records(self) -> None:
+        """Clear launch records and the timeline (keeps JIT cache and
+        page state)."""
+        self.records.clear()
+        self.timeline.reset()
+
+    def reset_warmup(self) -> None:
+        """Forget JIT compilations and page homes (fresh-process state)."""
+        self._jit_cache.clear()
+        for allocation in self.memory.allocations():
+            allocation.reset_pages()

@@ -1,0 +1,333 @@
+"""Work schedulers: OpenMP-static, TBB-dynamic and NUMA arenas.
+
+The paper compares three parallelisation regimes:
+
+* the OpenMP reference uses *static* scheduling — each thread owns the
+  same contiguous chunk of the particle array on every time step, so
+  after the first step every page it touches is NUMA-local;
+* plain DPC++ runs on TBB with *dynamic* scheduling — chunks migrate
+  between threads (and thus sockets) from step to step, so roughly half
+  of all accesses on a 2-socket node are remote;
+* ``DPCPP_CPU_PLACES=numa_domains`` creates one TBB *arena per NUMA
+  domain* — the iteration space is split between domains statically and
+  scheduled dynamically only inside each domain, restoring locality
+  ("the same particles are processed on the same CPU at every step").
+
+Schedulers here produce explicit chunk-to-thread assignments over a
+:class:`ThreadTopology`; the cost model walks those assignments to
+charge memory locality and scheduling overhead.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .device import DeviceDescriptor
+
+__all__ = ["ThreadTopology", "Chunk", "Schedule", "StaticScheduler",
+           "DynamicScheduler", "NumaArenaScheduler", "GpuScheduler"]
+
+
+class ThreadTopology:
+    """Mapping of software threads onto compute units and NUMA domains.
+
+    Threads are placed compactly and bound: thread ``i`` runs on unit
+    ``i // threads_per_unit`` (so "48 cores, 2 threads per core" fills
+    socket 0's cores before socket 1's, each with both hyperthreads —
+    the binding the paper describes for its scaling study).
+    """
+
+    def __init__(self, device: DeviceDescriptor, units: Optional[int] = None,
+                 threads_per_unit: Optional[int] = None) -> None:
+        self.device = device
+        self.units = device.compute_units if units is None else int(units)
+        if not 1 <= self.units <= device.compute_units:
+            raise ConfigurationError(
+                f"units must be in [1, {device.compute_units}], "
+                f"got {units}")
+        tpu = device.threads_per_unit if threads_per_unit is None \
+            else int(threads_per_unit)
+        if not 1 <= tpu <= device.threads_per_unit:
+            raise ConfigurationError(
+                f"threads_per_unit must be in [1, {device.threads_per_unit}],"
+                f" got {threads_per_unit}")
+        self.threads_per_unit = tpu
+
+    @property
+    def n_threads(self) -> int:
+        """Total software threads."""
+        return self.units * self.threads_per_unit
+
+    def unit_of(self, thread: int) -> int:
+        """Compute unit a thread is bound to."""
+        if not 0 <= thread < self.n_threads:
+            raise ConfigurationError(
+                f"thread {thread} out of range [0, {self.n_threads})")
+        return thread // self.threads_per_unit
+
+    def domain_of(self, thread: int) -> int:
+        """NUMA domain a thread is bound to."""
+        return self.device.domain_of_unit(self.unit_of(thread))
+
+    def threads_in_domain(self, domain: int) -> List[int]:
+        """All thread ids bound to one NUMA domain."""
+        return [t for t in range(self.n_threads) if self.domain_of(t) == domain]
+
+    def active_units_in_domain(self, domain: int) -> int:
+        """Number of busy compute units in a domain."""
+        return len({self.unit_of(t) for t in range(self.n_threads)
+                    if self.domain_of(t) == domain})
+
+    @property
+    def active_domains(self) -> List[int]:
+        """Domains that have at least one bound thread."""
+        return sorted({self.domain_of(t) for t in range(self.n_threads)})
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous range of work items assigned to one thread."""
+
+    start: int
+    end: int
+    thread: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+class Schedule:
+    """A complete assignment of ``n_items`` work items to threads."""
+
+    def __init__(self, chunks: List[Chunk], topology: ThreadTopology,
+                 n_items: int, dynamic: bool) -> None:
+        self.chunks = chunks
+        self.topology = topology
+        self.n_items = int(n_items)
+        #: Whether the schedule came from a dynamic (TBB-style)
+        #: scheduler; the cost model applies the dynamic-runtime
+        #: efficiency factor when true.
+        self.dynamic = dynamic
+        covered = sum(c.size for c in chunks)
+        if covered != n_items:
+            raise ConfigurationError(
+                f"schedule covers {covered} items, expected {n_items}")
+
+    def items_per_thread(self) -> Dict[int, int]:
+        """Total work items executed by each thread."""
+        totals: Dict[int, int] = {}
+        for chunk in self.chunks:
+            totals[chunk.thread] = totals.get(chunk.thread, 0) + chunk.size
+        return totals
+
+    def chunks_per_thread(self) -> Dict[int, int]:
+        """Number of chunks (scheduling events) per thread."""
+        counts: Dict[int, int] = {}
+        for chunk in self.chunks:
+            counts[chunk.thread] = counts.get(chunk.thread, 0) + 1
+        return counts
+
+    def items_per_unit(self) -> Dict[int, int]:
+        """Total work items executed on each compute unit."""
+        totals: Dict[int, int] = {}
+        for chunk in self.chunks:
+            unit = self.topology.unit_of(chunk.thread)
+            totals[unit] = totals.get(unit, 0) + chunk.size
+        return totals
+
+    def max_chunks_on_a_thread(self) -> int:
+        """Largest chunk count any one thread processes."""
+        counts = self.chunks_per_thread()
+        return max(counts.values()) if counts else 0
+
+
+class Scheduler(abc.ABC):
+    """Interface: produce a :class:`Schedule` for ``n_items`` items."""
+
+    @abc.abstractmethod
+    def schedule(self, n_items: int, topology: ThreadTopology) -> Schedule:
+        """Assign ``n_items`` items to the topology's threads."""
+
+
+def _split_even(start: int, end: int, parts: int) -> List[range]:
+    """Split [start, end) into ``parts`` near-equal contiguous ranges."""
+    n = end - start
+    out = []
+    offset = start
+    for i in range(parts):
+        size = n // parts + (1 if i < n % parts else 0)
+        out.append(range(offset, offset + size))
+        offset += size
+    return out
+
+
+class StaticScheduler(Scheduler):
+    """OpenMP ``schedule(static)``: one contiguous chunk per thread.
+
+    Deterministic: thread ``i`` always receives the ``i``-th slice, so
+    repeated launches touch the same pages from the same threads — the
+    property that makes the OpenMP version NUMA-clean after the first
+    iteration.
+    """
+
+    def schedule(self, n_items: int, topology: ThreadTopology) -> Schedule:
+        if n_items < 0:
+            raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
+        chunks = [Chunk(r.start, r.stop, thread)
+                  for thread, r in enumerate(
+                      _split_even(0, n_items, topology.n_threads))
+                  if r.stop > r.start]
+        return Schedule(chunks, topology, n_items, dynamic=False)
+
+
+class DynamicScheduler(Scheduler):
+    """TBB-style dynamic scheduling without arenas.
+
+    The iteration space is recursively split into grains and the grains
+    are claimed by whichever thread is free — here modelled by a seeded
+    random assignment that changes on every call, the way TBB's
+    work-stealing produces a different mapping on every time step.  On
+    a multi-socket machine this is precisely what destroys NUMA
+    locality.
+
+    Args:
+        grain_size: Items per grain; None picks ``n_items`` /
+            (threads * target_grains_per_thread), mimicking
+            ``tbb::auto_partitioner``.
+        target_grains_per_thread: Grains each thread should see with
+            the automatic grain size.
+        seed: Seed of the assignment RNG (per-instance stream; calls
+            advance the stream).
+    """
+
+    def __init__(self, grain_size: Optional[int] = None,
+                 target_grains_per_thread: int = 16,
+                 seed: int = 12345) -> None:
+        if grain_size is not None and grain_size < 1:
+            raise ConfigurationError(
+                f"grain_size must be >= 1, got {grain_size}")
+        if target_grains_per_thread < 1:
+            raise ConfigurationError(
+                f"target_grains_per_thread must be >= 1, "
+                f"got {target_grains_per_thread}")
+        self.grain_size = grain_size
+        self.target_grains_per_thread = int(target_grains_per_thread)
+        self._rng = np.random.default_rng(seed)
+
+    def _grain(self, n_items: int, n_threads: int) -> int:
+        if self.grain_size is not None:
+            return self.grain_size
+        return max(1, n_items
+                   // (n_threads * self.target_grains_per_thread))
+
+    def schedule(self, n_items: int, topology: ThreadTopology) -> Schedule:
+        if n_items < 0:
+            raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
+        grain = self._grain(n_items, topology.n_threads)
+        starts = list(range(0, n_items, grain))
+        # Threads claim grains as they finish the previous one; with
+        # uniform per-item cost this is a balanced random deal of the
+        # grain sequence across threads.
+        deal = self._rng.permutation(len(starts))
+        chunks = []
+        for order, grain_index in enumerate(deal):
+            start = starts[grain_index]
+            end = min(start + grain, n_items)
+            thread = order % topology.n_threads
+            chunks.append(Chunk(start, end, thread))
+        return Schedule(chunks, topology, n_items, dynamic=True)
+
+
+class NumaArenaScheduler(Scheduler):
+    """TBB with one arena per NUMA domain (``DPCPP_CPU_PLACES=numa_domains``).
+
+    The iteration space is divided between domains proportionally to
+    their thread counts — *statically*, so a given particle is always
+    processed by the same domain — and scheduled dynamically only among
+    the threads of that domain.
+    """
+
+    def __init__(self, grain_size: Optional[int] = None,
+                 target_grains_per_thread: int = 16,
+                 seed: int = 54321) -> None:
+        self._inner = DynamicScheduler(grain_size, target_grains_per_thread,
+                                       seed)
+
+    def schedule(self, n_items: int, topology: ThreadTopology) -> Schedule:
+        if n_items < 0:
+            raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
+        domains = topology.active_domains
+        weights = [len(topology.threads_in_domain(d)) for d in domains]
+        total_threads = sum(weights)
+        chunks: List[Chunk] = []
+        offset = 0
+        for domain, weight in zip(domains, weights):
+            size = n_items * weight // total_threads
+            if domain == domains[-1]:
+                size = n_items - offset
+            domain_threads = topology.threads_in_domain(domain)
+            sub = self._inner.schedule(
+                size, _SubsetTopology(topology, domain_threads))
+            for chunk in sub.chunks:
+                chunks.append(Chunk(chunk.start + offset,
+                                    chunk.end + offset,
+                                    domain_threads[chunk.thread]))
+            offset += size
+        return Schedule(chunks, topology, n_items, dynamic=True)
+
+
+class _SubsetTopology(ThreadTopology):
+    """View of a topology restricted to an explicit thread subset.
+
+    Thread ids are renumbered 0..len(subset)-1; used internally by the
+    arena scheduler to run the dynamic scheduler inside one domain.
+    """
+
+    def __init__(self, parent: ThreadTopology, threads: List[int]) -> None:
+        self._parent = parent
+        self._threads = list(threads)
+        self.device = parent.device
+        self.units = max(1, len({parent.unit_of(t) for t in threads}))
+        self.threads_per_unit = max(
+            1, len(threads) // max(1, self.units))
+
+    @property
+    def n_threads(self) -> int:
+        return len(self._threads)
+
+    def unit_of(self, thread: int) -> int:
+        return self._parent.unit_of(self._threads[thread])
+
+    def domain_of(self, thread: int) -> int:
+        return self._parent.domain_of(self._threads[thread])
+
+
+class GpuScheduler(Scheduler):
+    """Work-group scheduling on a (single-domain) GPU.
+
+    Work items are grouped into fixed-size work-groups dispatched
+    round-robin over the EU hardware threads.  Locality is moot (one
+    memory domain); the schedule exists so the cost model can account
+    compute occupancy and per-group dispatch overhead uniformly.
+    """
+
+    def __init__(self, workgroup_size: int = 256) -> None:
+        if workgroup_size < 1:
+            raise ConfigurationError(
+                f"workgroup_size must be >= 1, got {workgroup_size}")
+        self.workgroup_size = int(workgroup_size)
+
+    def schedule(self, n_items: int, topology: ThreadTopology) -> Schedule:
+        if n_items < 0:
+            raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
+        chunks = []
+        for index, start in enumerate(range(0, n_items, self.workgroup_size)):
+            end = min(start + self.workgroup_size, n_items)
+            chunks.append(Chunk(start, end, index % topology.n_threads))
+        return Schedule(chunks, topology, n_items, dynamic=False)

@@ -1,0 +1,81 @@
+"""Single-particle value object, mirroring Hi-Chi's ``Particle`` class."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..constants import SPEED_OF_LIGHT
+from ..errors import ConfigurationError
+from ..fp import FP3
+from .types import ParticleTypeTable
+
+__all__ = ["Particle"]
+
+
+@dataclass
+class Particle:
+    """One macroparticle: position, momentum, weight, gamma and type.
+
+    This is the scalar (AoS "array element") view of particle data; the
+    vectorized kernels operate on ensembles instead.  ``gamma`` is a
+    *stored* quantity, as in the paper's class layout, and must be kept
+    consistent with the momentum — use :meth:`update_gamma` after
+    changing ``momentum`` by hand, or the ``set_momentum`` helper which
+    does it for you.
+
+    Attributes:
+        position: Coordinates (x, y, z) [cm].
+        momentum: Momentum (px, py, pz) [g*cm/s].
+        weight: Number of real particles represented by this macroparticle.
+        gamma: Lorentz factor, ``sqrt(1 + |p|^2 / (m c)^2)``.
+        type_id: Short integer id into a :class:`ParticleTypeTable`.
+    """
+
+    position: FP3 = field(default_factory=FP3)
+    momentum: FP3 = field(default_factory=FP3)
+    weight: float = 1.0
+    gamma: float = 1.0
+    type_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.weight < 0.0:
+            raise ConfigurationError(f"weight must be >= 0, got {self.weight!r}")
+        if self.gamma < 1.0:
+            raise ConfigurationError(f"gamma must be >= 1, got {self.gamma!r}")
+
+    def mass(self, table: ParticleTypeTable) -> float:
+        """Rest mass [g] via the shared type table."""
+        return table.mass_of(self.type_id)
+
+    def charge(self, table: ParticleTypeTable) -> float:
+        """Charge [statC] via the shared type table."""
+        return table.charge_of(self.type_id)
+
+    def set_momentum(self, momentum: FP3, table: ParticleTypeTable) -> None:
+        """Assign a new momentum and refresh the stored gamma."""
+        self.momentum = momentum.copy()
+        self.update_gamma(table)
+
+    def update_gamma(self, table: ParticleTypeTable) -> None:
+        """Recompute ``gamma`` from the current momentum.
+
+        ``gamma = sqrt(1 + |p|^2 / (m c)^2)``.
+        """
+        mc = self.mass(table) * SPEED_OF_LIGHT
+        self.gamma = math.sqrt(1.0 + self.momentum.norm2() / (mc * mc))
+
+    def velocity(self, table: ParticleTypeTable) -> FP3:
+        """Velocity ``v = p / (gamma m)`` [cm/s] from the stored gamma."""
+        inv = 1.0 / (self.gamma * self.mass(table))
+        return self.momentum * inv
+
+    def kinetic_energy(self, table: ParticleTypeTable) -> float:
+        """Kinetic energy ``(gamma - 1) m c^2`` [erg]."""
+        mc2 = self.mass(table) * SPEED_OF_LIGHT ** 2
+        return (self.gamma - 1.0) * mc2
+
+    def copy(self) -> "Particle":
+        """Return an independent deep copy."""
+        return Particle(self.position.copy(), self.momentum.copy(),
+                        self.weight, self.gamma, self.type_id)

@@ -1,0 +1,153 @@
+"""Particle proxy: a reference view of one particle inside an ensemble.
+
+Hi-Chi's ``ParticleProxy`` "completely repeats the functionality of the
+Particle class, but stores references to objects", letting the same
+templated code run over either storage layout.  This is the Python
+equivalent: attribute access reads and writes through to the owning
+:class:`~repro.particles.ensemble.ParticleEnsemble`, whatever its
+layout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from ..constants import SPEED_OF_LIGHT
+from ..errors import LayoutError
+from ..fp import FP3
+from .particle import Particle
+
+if TYPE_CHECKING:
+    from .ensemble import ParticleEnsemble
+
+__all__ = ["ParticleProxy"]
+
+
+class ParticleProxy:
+    """Read/write view of particle ``index`` of ``ensemble``.
+
+    The proxy holds no particle data of its own.  Vector properties
+    (``position``, ``momentum``) return fresh :class:`FP3` copies;
+    assigning to them writes back into the ensemble storage.
+    """
+
+    __slots__ = ("_ensemble", "_index")
+
+    def __init__(self, ensemble: "ParticleEnsemble", index: int) -> None:
+        idx = int(index)
+        if not 0 <= idx < ensemble.size:
+            raise LayoutError(
+                f"particle index {index} out of range [0, {ensemble.size})")
+        self._ensemble = ensemble
+        self._index = idx
+
+    @property
+    def ensemble(self) -> "ParticleEnsemble":
+        """The ensemble this proxy points into."""
+        return self._ensemble
+
+    @property
+    def index(self) -> int:
+        """Index of the particle within the ensemble."""
+        return self._index
+
+    # -- vector components -------------------------------------------------
+
+    @property
+    def position(self) -> FP3:
+        e, i = self._ensemble, self._index
+        return FP3(float(e.component("x")[i]),
+                   float(e.component("y")[i]),
+                   float(e.component("z")[i]))
+
+    @position.setter
+    def position(self, value: FP3) -> None:
+        e, i = self._ensemble, self._index
+        e.component("x")[i] = value.x
+        e.component("y")[i] = value.y
+        e.component("z")[i] = value.z
+
+    @property
+    def momentum(self) -> FP3:
+        e, i = self._ensemble, self._index
+        return FP3(float(e.component("px")[i]),
+                   float(e.component("py")[i]),
+                   float(e.component("pz")[i]))
+
+    @momentum.setter
+    def momentum(self, value: FP3) -> None:
+        e, i = self._ensemble, self._index
+        e.component("px")[i] = value.x
+        e.component("py")[i] = value.y
+        e.component("pz")[i] = value.z
+
+    # -- scalar components ---------------------------------------------------
+
+    @property
+    def weight(self) -> float:
+        return float(self._ensemble.component("weight")[self._index])
+
+    @weight.setter
+    def weight(self, value: float) -> None:
+        self._ensemble.component("weight")[self._index] = value
+
+    @property
+    def gamma(self) -> float:
+        return float(self._ensemble.component("gamma")[self._index])
+
+    @gamma.setter
+    def gamma(self, value: float) -> None:
+        self._ensemble.component("gamma")[self._index] = value
+
+    @property
+    def type_id(self) -> int:
+        return int(self._ensemble.type_ids[self._index])
+
+    @type_id.setter
+    def type_id(self, value: int) -> None:
+        self._ensemble.type_ids[self._index] = value
+
+    # -- physics (same API as Particle) ---------------------------------------
+
+    @property
+    def mass(self) -> float:
+        """Rest mass [g] via the ensemble's type table."""
+        return self._ensemble.type_table.mass_of(self.type_id)
+
+    @property
+    def charge(self) -> float:
+        """Charge [statC] via the ensemble's type table."""
+        return self._ensemble.type_table.charge_of(self.type_id)
+
+    def update_gamma(self) -> None:
+        """Recompute the stored gamma from the current momentum."""
+        mc = self.mass * SPEED_OF_LIGHT
+        self.gamma = math.sqrt(1.0 + self.momentum.norm2() / (mc * mc))
+
+    def velocity(self) -> FP3:
+        """Velocity ``p / (gamma m)`` [cm/s]."""
+        return self.momentum * (1.0 / (self.gamma * self.mass))
+
+    def kinetic_energy(self) -> float:
+        """Kinetic energy ``(gamma - 1) m c^2`` [erg]."""
+        return (self.gamma - 1.0) * self.mass * SPEED_OF_LIGHT ** 2
+
+    # -- conversion ------------------------------------------------------------
+
+    def to_particle(self) -> Particle:
+        """Materialise an owning :class:`Particle` copy of this view."""
+        return Particle(self.position, self.momentum,
+                        self.weight, self.gamma, self.type_id)
+
+    def assign(self, particle: Particle) -> None:
+        """Copy all fields of ``particle`` into the ensemble slot."""
+        self.position = particle.position
+        self.momentum = particle.momentum
+        self.weight = particle.weight
+        self.gamma = particle.gamma
+        self.type_id = particle.type_id
+
+    def __repr__(self) -> str:
+        return (f"ParticleProxy(index={self._index}, position={self.position}, "
+                f"momentum={self.momentum}, gamma={self.gamma:.6g})")

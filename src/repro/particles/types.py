@@ -1,0 +1,133 @@
+"""Particle species table.
+
+The paper stores, per particle, only a short integer *type*; the mass
+and charge corresponding to each type live "in a separate table in a
+single copy".  :class:`ParticleTypeTable` is that table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+import numpy as np
+
+from ..constants import ELECTRON_MASS, ELEMENTARY_CHARGE, PROTON_MASS
+from ..errors import ConfigurationError
+
+__all__ = ["ParticleSpecies", "ParticleTypeTable", "default_type_table"]
+
+
+@dataclass(frozen=True)
+class ParticleSpecies:
+    """Immutable physical description of one particle species.
+
+    Attributes:
+        name: Human-readable species name ("electron", ...).
+        mass: Rest mass in grams.
+        charge: Charge in statcoulombs (signed).
+    """
+
+    name: str
+    mass: float
+    charge: float
+
+    def __post_init__(self) -> None:
+        if self.mass <= 0.0:
+            raise ConfigurationError(
+                f"species {self.name!r} must have positive mass, got {self.mass!r}")
+
+
+class ParticleTypeTable:
+    """Mapping from short integer type ids to :class:`ParticleSpecies`.
+
+    Type ids are dense small integers (they are stored per particle as
+    ``int16``), so the table also exposes vectorized ``masses_of`` /
+    ``charges_of`` lookups used by the push kernels.
+    """
+
+    MAX_TYPES = np.iinfo(np.int16).max
+
+    def __init__(self) -> None:
+        self._species: Dict[int, ParticleSpecies] = {}
+        self._by_name: Dict[str, int] = {}
+        self._mass_lut = np.zeros(0, dtype=np.float64)
+        self._charge_lut = np.zeros(0, dtype=np.float64)
+
+    def register(self, species: ParticleSpecies) -> int:
+        """Register a species and return its new type id.
+
+        Ids are assigned densely in registration order.  Registering a
+        second species with an existing name is an error.
+        """
+        if species.name in self._by_name:
+            raise ConfigurationError(f"species {species.name!r} already registered")
+        type_id = len(self._species)
+        if type_id > self.MAX_TYPES:
+            raise ConfigurationError("type table exceeds int16 capacity")
+        self._species[type_id] = species
+        self._by_name[species.name] = type_id
+        self._rebuild_luts()
+        return type_id
+
+    def _rebuild_luts(self) -> None:
+        n = len(self._species)
+        self._mass_lut = np.array([self._species[i].mass for i in range(n)])
+        self._charge_lut = np.array([self._species[i].charge for i in range(n)])
+
+    def __len__(self) -> int:
+        return len(self._species)
+
+    def __iter__(self) -> Iterator[ParticleSpecies]:
+        return (self._species[i] for i in range(len(self._species)))
+
+    def __getitem__(self, type_id: int) -> ParticleSpecies:
+        try:
+            return self._species[int(type_id)]
+        except KeyError:
+            raise ConfigurationError(f"unknown particle type id {type_id!r}") from None
+
+    def id_of(self, name: str) -> int:
+        """Return the type id registered under ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown species name {name!r}") from None
+
+    def mass_of(self, type_id: int) -> float:
+        """Rest mass [g] of the species with the given id."""
+        return self[type_id].mass
+
+    def charge_of(self, type_id: int) -> float:
+        """Charge [statC] of the species with the given id."""
+        return self[type_id].charge
+
+    def masses_of(self, type_ids: np.ndarray) -> np.ndarray:
+        """Vectorized mass lookup for an array of type ids."""
+        self._check_ids(type_ids)
+        return self._mass_lut[type_ids]
+
+    def charges_of(self, type_ids: np.ndarray) -> np.ndarray:
+        """Vectorized charge lookup for an array of type ids."""
+        self._check_ids(type_ids)
+        return self._charge_lut[type_ids]
+
+    def _check_ids(self, type_ids: np.ndarray) -> None:
+        ids = np.asarray(type_ids)
+        if ids.size and (ids.min() < 0 or ids.max() >= len(self._species)):
+            raise ConfigurationError(
+                f"type ids out of range [0, {len(self._species)}): "
+                f"min={ids.min()}, max={ids.max()}")
+
+
+def default_type_table() -> ParticleTypeTable:
+    """Return a fresh table with the three conventional species.
+
+    Ids: 0 = electron, 1 = positron, 2 = proton.  The paper's benchmark
+    uses electrons only, but PIC examples need the ions too.
+    """
+    table = ParticleTypeTable()
+    table.register(ParticleSpecies("electron", ELECTRON_MASS, -ELEMENTARY_CHARGE))
+    table.register(ParticleSpecies("positron", ELECTRON_MASS, +ELEMENTARY_CHARGE))
+    table.register(ParticleSpecies("proton", PROTON_MASS, +ELEMENTARY_CHARGE))
+    return table

@@ -1,0 +1,45 @@
+"""The Particle-in-Cell substrate (Section 2 of the paper).
+
+The paper situates the Boris pusher inside the conventional PIC loop:
+solve Maxwell's equations on a grid, interpolate fields to particles,
+push particles, deposit the current back onto the grid.  This
+subpackage implements that loop end to end:
+
+* :mod:`~repro.pic.fdtd` — Yee-grid FDTD Maxwell solver (eqs. 1-2),
+  periodic boundaries, CFL checking;
+* :mod:`~repro.pic.deposition` — charge and current deposition,
+  including the charge-conserving Esirkepov scheme;
+* :mod:`~repro.pic.simulation` — the self-consistent loop;
+* :mod:`~repro.pic.diagnostics` — energy/momentum/charge accounting.
+"""
+
+from .fdtd import FdtdSolver, max_stable_dt
+from .spectral import SpectralSolver
+from .deposition import (
+    deposit_charge,
+    deposit_current_direct,
+    deposit_current_esirkepov,
+)
+from .simulation import PicSimulation
+from .diagnostics import (
+    field_energy,
+    kinetic_energy,
+    total_momentum,
+    EnergyHistory,
+    plasma_frequency,
+)
+
+__all__ = [
+    "FdtdSolver",
+    "SpectralSolver",
+    "max_stable_dt",
+    "deposit_charge",
+    "deposit_current_direct",
+    "deposit_current_esirkepov",
+    "PicSimulation",
+    "field_energy",
+    "kinetic_energy",
+    "total_momentum",
+    "EnergyHistory",
+    "plasma_frequency",
+]

@@ -1,0 +1,152 @@
+"""The self-consistent Particle-in-Cell loop.
+
+One :class:`PicSimulation` step performs the conventional four stages
+(Section 2 of the paper):
+
+1. interpolate E and B from the Yee grid to the particles (CIC);
+2. push the particles (Boris by default);
+3. deposit the current of the motion onto the grid
+   (charge-conserving Esirkepov by default);
+4. advance the fields with the FDTD solver, driven by that current.
+
+Positions are wrapped into the periodic box *after* deposition, since
+the Esirkepov scheme needs the unwrapped displacement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.boris import BorisPusher
+from ..core.pushers import MomentumPusher
+from ..errors import SimulationError
+from ..fields.grid import YeeGrid
+from ..fields.interpolation import Shape, interpolate_from_yee_grid
+from ..particles.ensemble import ParticleEnsemble
+from .deposition import deposit_current_direct, deposit_current_esirkepov
+from .fdtd import FdtdSolver
+
+__all__ = ["PicSimulation"]
+
+#: Valid deposition scheme names.
+DEPOSITIONS = ("esirkepov", "direct", "none")
+
+
+class PicSimulation:
+    """A periodic electromagnetic PIC simulation.
+
+    Args:
+        grid: The Yee grid carrying fields and currents (initialise its
+            fields before running, e.g. via ``grid.fill_from_source``).
+        ensembles: One ensemble or a sequence of them (e.g. electrons
+            and ions).
+        dt: Time step [s]; must satisfy the FDTD CFL condition.
+        pusher: Momentum pusher (default Boris).
+        deposition: "esirkepov" (charge-conserving, default), "direct",
+            or "none" (external-field test mode — particles do not feed
+            back on the fields).
+        interpolation: Particle form factor for field gathering.
+        field_solver: "fdtd" (Yee leapfrog, default) or "spectral"
+            (FFT-based PSATD; dispersion-free, no Courant limit) — the
+            two Maxwell-solver families the paper's Section 2 names.
+    """
+
+    def __init__(self, grid: YeeGrid,
+                 ensembles: Union[ParticleEnsemble,
+                                  Sequence[ParticleEnsemble]],
+                 dt: float,
+                 pusher: Optional[MomentumPusher] = None,
+                 deposition: str = "esirkepov",
+                 interpolation: Shape = Shape.CIC,
+                 field_solver: str = "fdtd") -> None:
+        if deposition not in DEPOSITIONS:
+            raise SimulationError(
+                f"deposition must be one of {DEPOSITIONS}, "
+                f"got {deposition!r}")
+        if deposition == "esirkepov" and interpolation is Shape.NGP:
+            raise SimulationError(
+                "Esirkepov deposition needs a CIC or TSC form factor; "
+                "NGP carries no sub-cell motion information")
+        self.grid = grid
+        if isinstance(ensembles, ParticleEnsemble):
+            ensembles = [ensembles]
+        self.ensembles: List[ParticleEnsemble] = list(ensembles)
+        if not self.ensembles:
+            raise SimulationError("need at least one particle ensemble")
+        if field_solver == "fdtd":
+            self.solver = FdtdSolver(grid, dt)
+        elif field_solver == "spectral":
+            from .spectral import SpectralSolver
+            self.solver = SpectralSolver(grid, dt)
+        else:
+            raise SimulationError(
+                f"field_solver must be 'fdtd' or 'spectral', "
+                f"got {field_solver!r}")
+        self.dt = float(dt)
+        self.pusher = pusher if pusher is not None else BorisPusher()
+        self.deposition = deposition
+        self.interpolation = interpolation
+        self.step_count = 0
+
+    @property
+    def time(self) -> float:
+        """Current simulation time [s]."""
+        return self.solver.time
+
+    def _wrap(self, ensemble: ParticleEnsemble) -> None:
+        wrapped = self.grid.wrap_positions(ensemble.positions())
+        ensemble.set_positions(wrapped)
+
+    def step(self) -> None:
+        """Advance fields and particles by one time step."""
+        grid = self.grid
+        grid.clear_currents()
+        for ensemble in self.ensembles:
+            fields = interpolate_from_yee_grid(
+                grid, ensemble.positions(), self.interpolation)
+            old_positions = ensemble.positions()
+            self.pusher.push(ensemble, fields, self.dt)
+            if self.deposition == "esirkepov":
+                deposit_current_esirkepov(grid, ensemble, old_positions,
+                                          self.dt,
+                                          shape=self.interpolation)
+            elif self.deposition == "direct":
+                deposit_current_direct(grid, ensemble,
+                                       shape=self.interpolation)
+            self._wrap(ensemble)
+        self.solver.step()
+        self.step_count += 1
+
+    def run(self, steps: int,
+            callback: Optional[Callable[["PicSimulation"], None]] = None,
+            energy_history=None) -> None:
+        """Advance ``steps`` steps.
+
+        ``callback(simulation)`` fires after every step;
+        ``energy_history`` (an
+        :class:`~repro.pic.diagnostics.EnergyHistory`) is sampled after
+        every step as well, including an initial sample at the start.
+        """
+        if steps < 0:
+            raise SimulationError(f"steps must be >= 0, got {steps}")
+        if energy_history is not None:
+            energy_history.record(self.time, self.grid, self.ensembles)
+        for _ in range(steps):
+            self.step()
+            if energy_history is not None:
+                energy_history.record(self.time, self.grid, self.ensembles)
+            if callback is not None:
+                callback(self)
+
+    def check_state(self) -> None:
+        """Raise :class:`SimulationError` on NaN/inf fields or particles."""
+        for name, array in self.grid.fields.items():
+            if not np.all(np.isfinite(array)):
+                raise SimulationError(f"non-finite field component {name!r} "
+                                      f"at step {self.step_count}")
+        for ensemble in self.ensembles:
+            if not np.all(np.isfinite(ensemble.component("x"))):
+                raise SimulationError(
+                    f"non-finite particle positions at step {self.step_count}")

@@ -1,0 +1,6 @@
+"""Test package for repro.
+
+Being a package lets test modules share helpers (e.g. the
+``make_device`` factory in ``test_oneapi_device``) via absolute
+``tests.`` imports under both ``pytest`` and ``python -m pytest``.
+"""

@@ -1,0 +1,44 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+from repro.fp import Precision
+from repro.particles import (Layout, default_type_table, make_ensemble)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for randomized (non-hypothesis) tests."""
+    return np.random.default_rng(20210901)
+
+
+@pytest.fixture
+def type_table():
+    """The default electron/positron/proton table."""
+    return default_type_table()
+
+
+@pytest.fixture(params=[Layout.AOS, Layout.SOA],
+                ids=["aos", "soa"])
+def layout(request):
+    """Both particle memory layouts."""
+    return request.param
+
+
+@pytest.fixture(params=[Precision.SINGLE, Precision.DOUBLE],
+                ids=["float", "double"])
+def precision(request):
+    """Both floating-point precisions."""
+    return request.param
+
+
+@pytest.fixture
+def small_ensemble(layout, rng):
+    """A 64-particle double-precision ensemble with random state."""
+    ensemble = make_ensemble(64, layout, Precision.DOUBLE)
+    ensemble.set_positions(rng.uniform(-1.0, 1.0, (64, 3)))
+    from repro.constants import ELECTRON_MASS, SPEED_OF_LIGHT
+    scale = ELECTRON_MASS * SPEED_OF_LIGHT
+    ensemble.set_momenta(rng.normal(0.0, 0.3 * scale, (64, 3)))
+    return ensemble

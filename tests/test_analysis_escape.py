@@ -1,0 +1,104 @@
+"""Tests for the escape-study analysis module."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (EscapeCurve, escape_rate_sweep,
+                            remaining_fraction, run_escape_study)
+from repro.errors import ConfigurationError
+from repro.particles import ParticleEnsemble
+
+
+class TestRemainingFraction:
+    def test_counts_inside_sphere(self):
+        positions = [[0.0, 0.0, 0.0], [0.5, 0.0, 0.0], [2.0, 0.0, 0.0]]
+        ensemble = ParticleEnsemble.from_arrays(positions,
+                                                np.zeros((3, 3)))
+        assert remaining_fraction(ensemble, 1.0) == pytest.approx(2.0 / 3.0)
+
+    def test_center_offset(self):
+        ensemble = ParticleEnsemble.from_arrays([[5.0, 0.0, 0.0]],
+                                                np.zeros((1, 3)))
+        assert remaining_fraction(ensemble, 1.0, center=(5, 0, 0)) == 1.0
+        assert remaining_fraction(ensemble, 1.0) == 0.0
+
+    def test_rejects_bad_radius(self):
+        ensemble = ParticleEnsemble.from_arrays([[0, 0, 0]],
+                                                np.zeros((1, 3)))
+        with pytest.raises(ConfigurationError):
+            remaining_fraction(ensemble, 0.0)
+
+
+class TestEscapeCurve:
+    def _exponential_curve(self, rate, samples=20):
+        curve = EscapeCurve(power=1.0e21)
+        for i in range(samples):
+            t = i * 0.25
+            curve.record(t, math.exp(-rate * t))
+        return curve
+
+    def test_rate_recovered_from_exponential(self):
+        curve = self._exponential_curve(rate=1.3)
+        assert curve.escape_rate() == pytest.approx(1.3, rel=1e-6)
+
+    def test_residence_time(self):
+        curve = self._exponential_curve(rate=2.0)
+        assert curve.residence_time() == pytest.approx(0.5, rel=1e-6)
+
+    def test_no_escape_gives_zero_rate(self):
+        curve = EscapeCurve(power=1.0)
+        for t in range(5):
+            curve.record(float(t), 1.0)
+        assert curve.escape_rate() == 0.0
+        assert curve.residence_time() == math.inf
+
+
+class TestRunEscapeStudy:
+    @pytest.fixture(scope="class")
+    def paper_curve(self):
+        # 0.1 PW = 1e21 erg/s, small but sufficient ensemble.
+        return run_escape_study(1.0e21, n_particles=800, cycles=3,
+                                samples_per_cycle=2, steps_per_cycle=100,
+                                seed=1)
+
+    def test_starts_full(self, paper_curve):
+        assert paper_curve.fractions[0] == 1.0
+
+    def test_monotone_time_axis(self, paper_curve):
+        assert np.all(np.diff(paper_curve.times) > 0.0)
+        assert paper_curve.times[-1] == pytest.approx(3.0, rel=1e-9)
+
+    def test_rapid_escape_at_paper_power(self, paper_curve):
+        # The paper picks 0.1 PW because escape is fast: well under
+        # half the electrons remain after three cycles.
+        assert paper_curve.fractions[-1] < 0.3
+        assert paper_curve.escape_rate() > 0.5
+
+    def test_relativistic_gammas(self, paper_curve):
+        assert paper_curve.max_gamma > 10.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_escape_study(1.0e21, cycles=0)
+        with pytest.raises(ConfigurationError):
+            run_escape_study(1.0e21, samples_per_cycle=3,
+                             steps_per_cycle=100)
+
+
+class TestPowerDependence:
+    def test_weak_wave_confines_longer(self):
+        # At 0.1 GW (below the fast-escape window) fields barely move
+        # the electrons; at 0.1 PW they blow the sphere apart.
+        curves = escape_rate_sweep([1.0e16, 1.0e21], n_particles=400,
+                                   cycles=3, samples_per_cycle=2,
+                                   steps_per_cycle=100, seed=2)
+        weak = curves[1.0e16]
+        strong = curves[1.0e21]
+        assert weak.fractions[-1] > strong.fractions[-1]
+        assert weak.escape_rate() < strong.escape_rate()
+
+    def test_sweep_requires_powers(self):
+        with pytest.raises(ConfigurationError):
+            escape_rate_sweep([])

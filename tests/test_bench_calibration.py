@@ -1,0 +1,83 @@
+"""Tests: simulated devices must match the paper's Table 1."""
+
+import pytest
+
+from repro.bench import (cost_model_for, device_by_name, iris_xe_max, p630,
+                         xeon_8260l_node, DEVICE_NAMES)
+from repro.errors import ConfigurationError
+from repro.fp import Precision
+from repro.oneapi import DeviceType
+
+
+class TestXeonNode:
+    def test_topology_matches_table1(self):
+        device = xeon_8260l_node()
+        assert device.compute_units == 48        # "48 cores overall"
+        assert device.numa_domains == 2          # 2x CPUs
+        assert device.threads_per_unit == 2      # hyperthreading
+
+    def test_peak_flops_matches_table1(self):
+        # Table 1: 3.6 TFlops single precision.
+        device = xeon_8260l_node()
+        assert device.peak_flops(Precision.SINGLE) == \
+            pytest.approx(3.6e12, rel=0.05)
+
+    def test_clock_matches_table1(self):
+        assert xeon_8260l_node().clock_hz == pytest.approx(2.4e9)
+
+    def test_double_is_half_rate(self):
+        device = xeon_8260l_node()
+        assert device.peak_flops(Precision.DOUBLE) == pytest.approx(
+            device.peak_flops(Precision.SINGLE) / 2.0)
+
+
+class TestGpus:
+    def test_p630_matches_table1(self):
+        device = p630()
+        assert device.compute_units == 24        # 24 EUs
+        assert device.device_type is DeviceType.GPU
+        # Table 1: 0.441 TFlops single precision.
+        assert device.peak_flops(Precision.SINGLE) == \
+            pytest.approx(0.441e12, rel=0.05)
+
+    def test_iris_matches_table1(self):
+        device = iris_xe_max()
+        assert device.compute_units == 96        # 96 EUs
+        # Table 1: 2.5 TFlops single precision.
+        assert device.peak_flops(Precision.SINGLE) == \
+            pytest.approx(2.5e12, rel=0.05)
+
+    def test_iris_double_emulated(self):
+        # "double precision operations occur only in an emulation mode".
+        device = iris_xe_max()
+        assert device.dp_throughput_ratio < 0.1
+
+    def test_gpus_single_domain(self):
+        assert p630().numa_domains == 1
+        assert iris_xe_max().numa_domains == 1
+
+
+class TestLookupAndModels:
+    def test_device_by_name(self):
+        for name in DEVICE_NAMES:
+            assert device_by_name(name).compute_units > 0
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            device_by_name("a100")
+
+    def test_cost_models_constructed(self):
+        for name in DEVICE_NAMES:
+            device = device_by_name(name)
+            model = cost_model_for(device)
+            assert model.device is device
+
+    def test_cpu_model_has_dynamic_penalty(self):
+        model = cost_model_for(xeon_8260l_node())
+        assert model.dynamic_efficiency < 1.0     # the ~10% DPC++ gap
+
+    def test_gpu_models_differ_in_strided_efficiency(self):
+        # The Iris Xe Max recovers more strided traffic than the P630
+        # (Table 3 AoS/SoA ratios: ~1.5x vs ~2x).
+        assert cost_model_for(iris_xe_max()).gpu_strided_efficiency > \
+            cost_model_for(p630()).gpu_strided_efficiency

@@ -1,0 +1,220 @@
+"""Tests for the Boris pusher: scalar reference and vectorized kernels."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import (ELECTRON_MASS, ELEMENTARY_CHARGE,
+                             SPEED_OF_LIGHT, cyclotron_frequency)
+from repro.core import (BorisPusher, boris_push, boris_push_particle,
+                        boris_rotation, advance, setup_leapfrog)
+from repro.fields import NullField, UniformField
+from repro.fp import FP3, Precision
+from repro.particles import Layout, Particle, ParticleEnsemble, make_ensemble
+
+MC = ELECTRON_MASS * SPEED_OF_LIGHT
+Q = -ELEMENTARY_CHARGE
+
+momentum_components = st.floats(min_value=-5.0, max_value=5.0,
+                                allow_nan=False)
+field_components = st.floats(min_value=-1e5, max_value=1e5,
+                             allow_nan=False)
+
+
+class TestBorisRotation:
+    @settings(max_examples=60, deadline=None)
+    @given(momentum_components, momentum_components, momentum_components,
+           field_components, field_components, field_components,
+           st.floats(min_value=1e-18, max_value=1e-12))
+    def test_preserves_momentum_norm_exactly(self, ux, uy, uz,
+                                             bx, by, bz, dt):
+        # The paper: "p^2 is preserved exactly (independently of the
+        # smallness of the rotation angle)".
+        p = FP3(ux * MC, uy * MC, uz * MC)
+        gamma = math.sqrt(1.0 + ux * ux + uy * uy + uz * uz)
+        rotated = boris_rotation(p, FP3(bx, by, bz), gamma,
+                                 ELECTRON_MASS, Q, dt)
+        assert rotated.norm2() == pytest.approx(p.norm2(), rel=1e-12)
+
+    def test_zero_field_is_identity(self):
+        p = FP3(1.0 * MC, 2.0 * MC, 3.0 * MC)
+        rotated = boris_rotation(p, FP3(), 2.0, ELECTRON_MASS, Q, 1e-15)
+        assert rotated == p
+
+    def test_small_angle_matches_cross_product(self):
+        # For a tiny step, dp = (q dt / gamma m c) p x B.
+        p = FP3(MC, 0.0, 0.0)
+        b = FP3(0.0, 0.0, 1.0e4)
+        gamma = math.sqrt(2.0)
+        dt = 1e-20
+        rotated = boris_rotation(p, b, gamma, ELECTRON_MASS, Q, dt)
+        expected_dpy = Q * dt / (gamma * ELECTRON_MASS * SPEED_OF_LIGHT) \
+            * (-p.x * b.z)
+        assert rotated.y - p.y == pytest.approx(expected_dpy, rel=1e-6)
+
+
+class TestScalarPush:
+    def test_pure_electric_acceleration(self):
+        # Constant E: dp = q E dt exactly (both half kicks).
+        particle = Particle()
+        e = FP3(1.0e5, 0.0, 0.0)
+        dt = 1e-16
+        boris_push_particle(particle, e, FP3(), dt, ELECTRON_MASS, Q)
+        assert particle.momentum.x == pytest.approx(Q * 1.0e5 * dt, rel=1e-12)
+
+    def test_free_streaming(self):
+        mc = MC
+        particle = Particle(momentum=FP3(mc, 0.0, 0.0),
+                            gamma=math.sqrt(2.0))
+        dt = 1e-15
+        boris_push_particle(particle, FP3(), FP3(), dt, ELECTRON_MASS, Q)
+        v = SPEED_OF_LIGHT / math.sqrt(2.0)
+        assert particle.position.x == pytest.approx(v * dt, rel=1e-12)
+        assert particle.momentum.x == mc
+
+    def test_gamma_updated(self):
+        particle = Particle()
+        e = FP3(0.0, 1.0e7, 0.0)
+        dt = 1e-14
+        boris_push_particle(particle, e, FP3(), dt, ELECTRON_MASS, Q)
+        expected = math.sqrt(1.0 + (Q * 1.0e7 * dt / MC) ** 2)
+        assert particle.gamma == pytest.approx(expected, rel=1e-12)
+
+    def test_works_on_proxies(self, small_ensemble):
+        proxy = small_ensemble[0]
+        before = proxy.momentum
+        boris_push_particle(proxy, FP3(1e5, 0, 0), FP3(), 1e-16,
+                            ELECTRON_MASS, Q)
+        assert small_ensemble[0].momentum.x != before.x
+
+
+class TestVectorizedAgainstScalar:
+    def _random_state(self, rng, n=16):
+        positions = rng.uniform(-1.0, 1.0, (n, 3))
+        momenta = rng.normal(0.0, 0.5 * MC, (n, 3))
+        return positions, momenta
+
+    def test_matches_scalar_reference(self, layout, rng):
+        positions, momenta = self._random_state(rng)
+        ensemble = ParticleEnsemble.from_arrays(positions, momenta,
+                                                layout=layout)
+        e = (1.0e6, -2.0e6, 0.5e6)
+        b = (0.0, 3.0e6, -1.0e6)
+        dt = 1e-16
+        fields = UniformField(e=e, b=b).evaluate(
+            ensemble.component("x"), ensemble.component("y"),
+            ensemble.component("z"), 0.0)
+        boris_push(ensemble, fields, dt)
+
+        for i in range(ensemble.size):
+            particle = Particle(FP3.from_array(positions[i]),
+                                FP3.from_array(momenta[i]))
+            particle.update_gamma(ensemble.type_table)
+            boris_push_particle(particle, FP3(*e), FP3(*b), dt,
+                                ELECTRON_MASS, Q)
+            proxy = ensemble[i]
+            assert proxy.momentum.x == pytest.approx(particle.momentum.x,
+                                                     rel=1e-12)
+            assert proxy.position.y == pytest.approx(particle.position.y,
+                                                     rel=1e-12)
+            assert proxy.gamma == pytest.approx(particle.gamma, rel=1e-12)
+
+    def test_layouts_produce_identical_results(self, rng):
+        positions, momenta = self._random_state(rng)
+        aos = ParticleEnsemble.from_arrays(positions, momenta,
+                                           layout=Layout.AOS)
+        soa = ParticleEnsemble.from_arrays(positions, momenta,
+                                           layout=Layout.SOA)
+        field = UniformField(e=(1e6, 0, 0), b=(0, 0, 2e6))
+        for ensemble in (aos, soa):
+            fields = field.evaluate(ensemble.component("x"),
+                                    ensemble.component("y"),
+                                    ensemble.component("z"), 0.0)
+            boris_push(ensemble, fields, 1e-16)
+        np.testing.assert_array_equal(aos.momenta(), soa.momenta())
+        np.testing.assert_array_equal(aos.positions(), soa.positions())
+
+    def test_runs_in_storage_precision(self):
+        ensemble = make_ensemble(8, Layout.SOA, Precision.SINGLE)
+        fields = NullField().evaluate(ensemble.component("x"),
+                                      ensemble.component("y"),
+                                      ensemble.component("z"), 0.0)
+        boris_push(ensemble, fields, 1e-16)
+        assert ensemble.component("px").dtype == np.float32
+
+    def test_single_precision_approximates_double(self, rng):
+        positions, momenta = self._random_state(rng)
+        single = ParticleEnsemble.from_arrays(positions, momenta,
+                                              precision=Precision.SINGLE)
+        double = ParticleEnsemble.from_arrays(positions, momenta,
+                                              precision=Precision.DOUBLE)
+        field = UniformField(e=(1e6, 2e6, 0), b=(0, 1e6, 3e6))
+        for ensemble in (single, double):
+            fields = field.evaluate(ensemble.component("x"),
+                                    ensemble.component("y"),
+                                    ensemble.component("z"), 0.0)
+            boris_push(ensemble, fields, 1e-16)
+        np.testing.assert_allclose(single.momenta(), double.momenta(),
+                                   rtol=1e-5)
+
+
+class TestGyration:
+    def test_larmor_orbit_closes(self):
+        b0 = 1.0e4
+        u = 0.5
+        gamma = math.sqrt(1.0 + u * u)
+        p0 = u * MC
+        radius = p0 / (ELEMENTARY_CHARGE * b0 / SPEED_OF_LIGHT)
+        omega = cyclotron_frequency(b0, gamma)
+        field = UniformField(b=(0.0, 0.0, b0))
+        ensemble = ParticleEnsemble.from_arrays(
+            [[0.0, -radius, 0.0]], [[p0, 0.0, 0.0]])
+        dt = 2.0 * math.pi / omega / 500.0
+        setup_leapfrog(ensemble, field, dt)
+        advance(ensemble, field, dt, 500, pusher=BorisPusher())
+        end = ensemble.positions()[0]
+        assert np.linalg.norm(end - [0.0, -radius, 0.0]) / radius < 1e-3
+
+    def test_gyroradius_traced(self):
+        b0 = 1.0e4
+        p0 = 0.3 * MC
+        radius = p0 / (ELEMENTARY_CHARGE * b0 / SPEED_OF_LIGHT)
+        gamma = math.sqrt(1.09)
+        omega = cyclotron_frequency(b0, gamma)
+        field = UniformField(b=(0.0, 0.0, b0))
+        ensemble = ParticleEnsemble.from_arrays(
+            [[0.0, -radius, 0.0]], [[p0, 0.0, 0.0]])
+        dt = 2.0 * math.pi / omega / 400.0
+        setup_leapfrog(ensemble, field, dt)
+        max_r = 0.0
+
+        def track(step, time, ens):
+            nonlocal max_r
+            max_r = max(max_r, float(np.linalg.norm(ens.positions()[0])))
+
+        advance(ensemble, field, dt, 400, callback=track)
+        assert max_r == pytest.approx(radius, rel=2e-3)
+
+    def test_energy_constant_in_pure_magnetic_field(self):
+        field = UniformField(b=(1e4, 2e4, -0.5e4))
+        ensemble = ParticleEnsemble.from_arrays(
+            [[0, 0, 0]], [[0.7 * MC, -0.2 * MC, 0.4 * MC]])
+        gamma0 = float(ensemble.component("gamma")[0])
+        advance(ensemble, field, 1e-14, 1000)
+        assert ensemble.component("gamma")[0] == pytest.approx(gamma0,
+                                                               rel=1e-12)
+
+
+class TestBorisPusherClass:
+    def test_registered_name(self):
+        assert BorisPusher.name == "boris"
+
+    def test_push_delegates(self, small_ensemble):
+        before = small_ensemble.positions().copy()
+        fields = UniformField(e=(1e6, 0, 0)).evaluate(
+            small_ensemble.component("x"), small_ensemble.component("y"),
+            small_ensemble.component("z"), 0.0)
+        BorisPusher().push(small_ensemble, fields, 1e-15)
+        assert not np.allclose(small_ensemble.positions(), before)

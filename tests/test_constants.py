@@ -1,0 +1,89 @@
+"""Tests for physical constants and unit helpers."""
+
+import pytest
+
+from repro import constants
+
+
+class TestValues:
+    def test_speed_of_light_cgs(self):
+        assert constants.SPEED_OF_LIGHT == pytest.approx(2.99792458e10)
+
+    def test_electron_mass_positive(self):
+        assert constants.ELECTRON_MASS > 0.0
+
+    def test_proton_to_electron_mass_ratio(self):
+        ratio = constants.PROTON_MASS / constants.ELECTRON_MASS
+        assert ratio == pytest.approx(1836.15, rel=1e-4)
+
+    def test_petawatt_in_cgs(self):
+        assert constants.PETAWATT == pytest.approx(1.0e22)
+
+    def test_electron_volt_in_erg(self):
+        assert constants.ELECTRON_VOLT == pytest.approx(1.602176634e-12)
+
+
+class TestWavelengthFrequency:
+    def test_paper_wavelength_matches_frequency(self):
+        # The paper: omega = 2.1e15 1/s corresponds to lambda = 0.9 um.
+        omega = constants.wavelength_to_frequency(0.9 * constants.MICRON)
+        assert omega == pytest.approx(2.1e15, rel=0.005)
+
+    def test_roundtrip(self):
+        wavelength = 0.8e-4
+        omega = constants.wavelength_to_frequency(wavelength)
+        assert constants.frequency_to_wavelength(omega) == \
+            pytest.approx(wavelength)
+
+    def test_rejects_nonpositive_wavelength(self):
+        with pytest.raises(ValueError):
+            constants.wavelength_to_frequency(0.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            constants.frequency_to_wavelength(-1.0)
+
+
+class TestRelativisticFieldAmplitude:
+    def test_dimensional_value(self):
+        # E_rel = m c omega / e for the paper's frequency ~ 1.2e8.
+        value = constants.relativistic_field_amplitude(2.1e15)
+        expected = (constants.ELECTRON_MASS * constants.SPEED_OF_LIGHT
+                    * 2.1e15 / constants.ELEMENTARY_CHARGE)
+        assert value == pytest.approx(expected)
+        assert value == pytest.approx(1.19e8, rel=0.01)
+
+    def test_scales_linearly_with_omega(self):
+        one = constants.relativistic_field_amplitude(1.0e15)
+        two = constants.relativistic_field_amplitude(2.0e15)
+        assert two == pytest.approx(2.0 * one)
+
+    def test_rejects_zero_charge(self):
+        with pytest.raises(ValueError):
+            constants.relativistic_field_amplitude(1e15, charge=0.0)
+
+    def test_rejects_bad_mass(self):
+        with pytest.raises(ValueError):
+            constants.relativistic_field_amplitude(1e15, mass=-1.0)
+
+
+class TestCyclotronFrequency:
+    def test_classical_value(self):
+        b = 1.0e4
+        omega = constants.cyclotron_frequency(b)
+        expected = constants.ELEMENTARY_CHARGE * b / (
+            constants.ELECTRON_MASS * constants.SPEED_OF_LIGHT)
+        assert omega == pytest.approx(expected)
+
+    def test_gamma_slows_rotation(self):
+        slow = constants.cyclotron_frequency(1e4, gamma=2.0)
+        fast = constants.cyclotron_frequency(1e4, gamma=1.0)
+        assert slow == pytest.approx(fast / 2.0)
+
+    def test_rejects_gamma_below_one(self):
+        with pytest.raises(ValueError):
+            constants.cyclotron_frequency(1e4, gamma=0.5)
+
+    def test_sign_insensitive(self):
+        assert constants.cyclotron_frequency(-1e4) == \
+            constants.cyclotron_frequency(1e4)

@@ -1,0 +1,100 @@
+"""Tests for PIC diagnostics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import (ELECTRON_MASS, ELEMENTARY_CHARGE,
+                             SPEED_OF_LIGHT)
+from repro.errors import ConfigurationError
+from repro.fields import UniformField, YeeGrid
+from repro.particles import ParticleEnsemble
+from repro.pic import (EnergyHistory, field_energy, kinetic_energy,
+                       plasma_frequency, total_momentum)
+
+
+class TestEnergies:
+    def test_field_energy_uniform(self):
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (2, 2, 2))
+        grid.fill_from_source(UniformField(b=(2.0, 0, 0)), 0.0)
+        expected = 4.0 / (8.0 * math.pi) * 8.0
+        assert field_energy(grid) == pytest.approx(expected)
+
+    def test_kinetic_energy_weighted(self):
+        mc = ELECTRON_MASS * SPEED_OF_LIGHT
+        ensemble = ParticleEnsemble.from_arrays(
+            np.zeros((2, 3)), [[mc, 0, 0], [0, 0, 0]],
+            weights=[3.0, 10.0])
+        expected = 3.0 * (math.sqrt(2.0) - 1.0) * ELECTRON_MASS \
+            * SPEED_OF_LIGHT ** 2
+        assert kinetic_energy(ensemble) == pytest.approx(expected)
+
+    def test_total_momentum_weighted(self):
+        ensemble = ParticleEnsemble.from_arrays(
+            np.zeros((2, 3)), [[1.0e-18, 0, 0], [-2.0e-18, 0, 0]],
+            weights=[2.0, 1.0])
+        np.testing.assert_allclose(total_momentum(ensemble),
+                                   [0.0, 0.0, 0.0], atol=1e-30)
+
+
+class TestPlasmaFrequency:
+    def test_known_value(self):
+        # n = 1e18 cm^-3 electrons: omega_p ~ 5.64e13 1/s.
+        omega = plasma_frequency(1.0e18, ELECTRON_MASS, ELEMENTARY_CHARGE)
+        assert omega == pytest.approx(5.64e13, rel=0.01)
+
+    def test_scales_as_sqrt_density(self):
+        one = plasma_frequency(1.0e18, ELECTRON_MASS, ELEMENTARY_CHARGE)
+        four = plasma_frequency(4.0e18, ELECTRON_MASS, ELEMENTARY_CHARGE)
+        assert four == pytest.approx(2.0 * one)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            plasma_frequency(-1.0, ELECTRON_MASS, ELEMENTARY_CHARGE)
+        with pytest.raises(ConfigurationError):
+            plasma_frequency(1.0e18, 0.0, ELEMENTARY_CHARGE)
+
+
+class TestEnergyHistory:
+    def _synthetic_history(self, omega, steps=256, dt=1.0e-15):
+        history = EnergyHistory()
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (2, 2, 2))
+        ensemble = ParticleEnsemble.from_arrays([[0, 0, 0]], [[0, 0, 0]])
+        for n in range(steps):
+            t = n * dt
+            grid.component("ex")[:] = math.sin(omega * t)
+            history.record(t, grid, [ensemble])
+        return history
+
+    def test_dominant_frequency_recovers_signal(self):
+        # Pick a frequency aligned with an FFT bin: 8 cycles of the
+        # energy (which oscillates at 2 omega) over 256 samples.
+        steps, dt = 256, 1.0e-15
+        omega = 2.0 * math.pi * 4.0 / (steps * dt)
+        history = self._synthetic_history(omega, steps=steps, dt=dt)
+        assert history.dominant_frequency() == pytest.approx(2.0 * omega,
+                                                             rel=0.02)
+
+    def test_dominant_frequency_custom_signal(self):
+        steps, dt = 256, 1.0e-15
+        omega = 2.0 * math.pi * 12.0 / (steps * dt)
+        history = self._synthetic_history(omega, steps=steps, dt=dt)
+        signal = np.sin(omega * np.asarray(history.times))
+        assert history.dominant_frequency(signal) == pytest.approx(
+            omega, rel=0.02)
+
+    def test_relative_drift_constant_total(self):
+        history = EnergyHistory()
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (2, 2, 2))
+        grid.component("ex")[:] = 1.0
+        ensemble = ParticleEnsemble.from_arrays([[0, 0, 0]], [[0, 0, 0]])
+        for t in range(5):
+            history.record(float(t), grid, [ensemble])
+        assert history.relative_drift() == pytest.approx(0.0, abs=1e-15)
+
+    def test_requires_samples(self):
+        with pytest.raises(ConfigurationError):
+            EnergyHistory().relative_drift()
+        with pytest.raises(ConfigurationError):
+            EnergyHistory().dominant_frequency()

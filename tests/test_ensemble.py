@@ -1,0 +1,267 @@
+"""Tests for AoS/SoA particle ensembles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import ELECTRON_MASS, SPEED_OF_LIGHT
+from repro.errors import ConfigurationError, LayoutError
+from repro.fp import Precision
+from repro.particles import (Layout, ParticleArrayAoS, ParticleArraySoA,
+                             ParticleEnsemble, make_ensemble)
+from repro.particles.ensemble import COMPONENTS
+
+
+class TestConstruction:
+    def test_factory_dispatch(self):
+        assert isinstance(make_ensemble(4, Layout.AOS), ParticleArrayAoS)
+        assert isinstance(make_ensemble(4, Layout.SOA), ParticleArraySoA)
+
+    def test_negative_size_rejected(self, layout):
+        with pytest.raises(ConfigurationError):
+            make_ensemble(-1, layout)
+
+    def test_zero_size_allowed(self, layout):
+        ensemble = make_ensemble(0, layout)
+        assert len(ensemble) == 0
+
+    def test_defaults(self, layout):
+        ensemble = make_ensemble(5, layout)
+        assert np.all(ensemble.component("weight") == 1.0)
+        assert np.all(ensemble.component("gamma") == 1.0)
+        assert np.all(ensemble.type_ids == 0)
+
+    def test_bad_precision_rejected(self, layout):
+        cls = ParticleArrayAoS if layout is Layout.AOS else ParticleArraySoA
+        with pytest.raises(ConfigurationError):
+            cls(4, precision="float")
+
+
+class TestStorageFootprint:
+    def test_aos_record_bytes_match_paper(self, precision):
+        # Section 3: 36 bytes per particle in single, 72 in double.
+        ensemble = ParticleArrayAoS(100, precision)
+        assert ensemble.nbytes == 100 * precision.particle_bytes_aligned
+
+    def test_soa_bytes(self, precision):
+        ensemble = ParticleArraySoA(100, precision)
+        expected = 100 * (8 * precision.itemsize + 2)
+        assert ensemble.nbytes == expected
+
+    def test_aos_component_views_are_strided(self):
+        ensemble = ParticleArrayAoS(10, Precision.SINGLE)
+        view = ensemble.component("px")
+        assert view.strides[0] == Precision.SINGLE.particle_bytes_aligned
+        assert not view.flags["C_CONTIGUOUS"]
+
+    def test_soa_component_views_are_contiguous(self):
+        ensemble = ParticleArraySoA(10, Precision.SINGLE)
+        assert ensemble.component("px").flags["C_CONTIGUOUS"]
+
+    def test_component_views_write_through(self, layout):
+        ensemble = make_ensemble(3, layout)
+        ensemble.component("px")[1] = 42.0
+        assert ensemble.momenta()[1, 0] == 42.0
+
+    def test_unknown_component_rejected(self, layout):
+        ensemble = make_ensemble(3, layout)
+        with pytest.raises(LayoutError):
+            ensemble.component("vx")
+
+
+class TestBulkAccessors:
+    def test_set_get_positions(self, small_ensemble, rng):
+        pos = rng.normal(size=(64, 3))
+        small_ensemble.set_positions(pos)
+        np.testing.assert_allclose(small_ensemble.positions(), pos)
+
+    def test_set_momenta_updates_gamma(self, small_ensemble):
+        mc = ELECTRON_MASS * SPEED_OF_LIGHT
+        mom = np.zeros((64, 3))
+        mom[:, 0] = mc
+        small_ensemble.set_momenta(mom)
+        np.testing.assert_allclose(small_ensemble.component("gamma"),
+                                   np.sqrt(2.0), rtol=1e-12)
+
+    def test_set_momenta_can_skip_gamma(self, small_ensemble):
+        before = small_ensemble.component("gamma").copy()
+        small_ensemble.set_momenta(np.zeros((64, 3)), update_gamma=False)
+        np.testing.assert_array_equal(small_ensemble.component("gamma"),
+                                      before)
+
+    def test_shape_validation(self, small_ensemble):
+        with pytest.raises(LayoutError):
+            small_ensemble.set_positions(np.zeros((10, 3)))
+        with pytest.raises(LayoutError):
+            small_ensemble.set_momenta(np.zeros((64, 2)))
+
+    def test_velocities_subluminal(self, small_ensemble):
+        speeds = np.linalg.norm(small_ensemble.velocities(), axis=1)
+        assert np.all(speeds < SPEED_OF_LIGHT)
+
+    def test_kinetic_energy_nonnegative(self, small_ensemble):
+        assert np.all(small_ensemble.kinetic_energies() >= 0.0)
+        assert small_ensemble.total_kinetic_energy() >= 0.0
+
+    def test_masses_charges(self, small_ensemble):
+        assert np.all(small_ensemble.masses() == ELECTRON_MASS)
+        assert np.all(small_ensemble.charges() < 0.0)
+
+
+class TestLayoutConversion:
+    def test_roundtrip_preserves_everything(self, small_ensemble):
+        other_layout = (Layout.SOA if small_ensemble.layout is Layout.AOS
+                        else Layout.AOS)
+        converted = small_ensemble.to_layout(other_layout)
+        back = converted.to_layout(small_ensemble.layout)
+        for name in COMPONENTS:
+            np.testing.assert_array_equal(back.component(name),
+                                          small_ensemble.component(name))
+        np.testing.assert_array_equal(back.type_ids,
+                                      small_ensemble.type_ids)
+
+    def test_to_same_layout_is_a_copy(self, small_ensemble):
+        copy = small_ensemble.to_layout(small_ensemble.layout)
+        copy.component("px")[0] = 1.0e-10
+        assert small_ensemble.component("px")[0] != 1.0e-10
+
+    def test_copy_preserves_layout_and_precision(self, layout, precision):
+        ensemble = make_ensemble(4, layout, precision)
+        copy = ensemble.copy()
+        assert copy.layout is layout
+        assert copy.precision is precision
+
+
+class TestPermuteAndSelect:
+    def test_permute_reverses(self, small_ensemble):
+        original = small_ensemble.positions()
+        small_ensemble.permute(np.arange(64)[::-1])
+        np.testing.assert_allclose(small_ensemble.positions(),
+                                   original[::-1])
+
+    def test_permute_rejects_non_permutation(self, small_ensemble):
+        with pytest.raises(LayoutError):
+            small_ensemble.permute(np.zeros(64, dtype=np.int64))
+
+    def test_permute_rejects_wrong_shape(self, small_ensemble):
+        with pytest.raises(LayoutError):
+            small_ensemble.permute(np.arange(32))
+
+    def test_select(self, small_ensemble):
+        mask = small_ensemble.component("px") > 0
+        subset = small_ensemble.select(np.asarray(mask))
+        assert subset.size == int(np.sum(mask))
+        assert subset.layout is small_ensemble.layout
+        if subset.size:
+            assert np.all(subset.component("px") > 0)
+
+    def test_select_rejects_wrong_shape(self, small_ensemble):
+        with pytest.raises(LayoutError):
+            small_ensemble.select(np.ones(3, dtype=bool))
+
+
+class TestFromArrays:
+    def test_base_class_defaults_to_soa(self):
+        ensemble = ParticleEnsemble.from_arrays(
+            np.zeros((3, 3)), np.zeros((3, 3)))
+        assert ensemble.layout is Layout.SOA
+
+    def test_base_class_layout_argument(self):
+        ensemble = ParticleEnsemble.from_arrays(
+            np.zeros((3, 3)), np.zeros((3, 3)), layout=Layout.AOS)
+        assert ensemble.layout is Layout.AOS
+
+    def test_subclass_rejects_layout_argument(self):
+        with pytest.raises(LayoutError):
+            ParticleArrayAoS.from_arrays(np.zeros((3, 3)), np.zeros((3, 3)),
+                                         layout=Layout.SOA)
+
+    def test_gamma_computed(self):
+        mc = ELECTRON_MASS * SPEED_OF_LIGHT
+        ensemble = ParticleEnsemble.from_arrays(
+            [[0, 0, 0]], [[mc, 0, 0]])
+        assert ensemble.component("gamma")[0] == pytest.approx(np.sqrt(2.0))
+
+    def test_shape_validation(self):
+        with pytest.raises(LayoutError):
+            ParticleEnsemble.from_arrays(np.zeros((3, 2)), np.zeros((3, 2)))
+        with pytest.raises(LayoutError):
+            ParticleEnsemble.from_arrays(np.zeros((3, 3)), np.zeros((4, 3)))
+
+    def test_weights_and_types(self):
+        ensemble = ParticleEnsemble.from_arrays(
+            np.zeros((2, 3)), np.zeros((2, 3)),
+            weights=[2.0, 3.0], type_ids=[0, 2])
+        assert list(ensemble.component("weight")) == [2.0, 3.0]
+        assert list(ensemble.type_ids) == [0, 2]
+
+
+class TestConcatenate:
+    def test_joins_in_order(self, rng):
+        table = None
+        a = ParticleEnsemble.from_arrays(rng.normal(size=(3, 3)),
+                                         np.zeros((3, 3)))
+        b = ParticleEnsemble.from_arrays(rng.normal(size=(2, 3)),
+                                         np.zeros((2, 3)),
+                                         type_table=a.type_table)
+        joined = ParticleEnsemble.concatenate([a, b])
+        assert joined.size == 5
+        np.testing.assert_array_equal(joined.positions()[:3],
+                                      a.positions())
+        np.testing.assert_array_equal(joined.positions()[3:],
+                                      b.positions())
+
+    def test_single_input_copies(self, small_ensemble):
+        joined = ParticleEnsemble.concatenate([small_ensemble])
+        joined.component("px")[0] = 1.0e-7
+        assert small_ensemble.component("px")[0] != 1.0e-7
+
+    def test_layout_mismatch_rejected(self):
+        a = make_ensemble(2, Layout.AOS)
+        b = make_ensemble(2, Layout.SOA, type_table=a.type_table)
+        with pytest.raises(LayoutError):
+            ParticleEnsemble.concatenate([a, b])
+
+    def test_precision_mismatch_rejected(self):
+        a = make_ensemble(2, Layout.SOA, Precision.SINGLE)
+        b = make_ensemble(2, Layout.SOA, Precision.DOUBLE,
+                          type_table=a.type_table)
+        with pytest.raises(LayoutError):
+            ParticleEnsemble.concatenate([a, b])
+
+    def test_table_mismatch_rejected(self):
+        a = make_ensemble(2, Layout.SOA)
+        b = make_ensemble(2, Layout.SOA)     # fresh default table
+        with pytest.raises(LayoutError):
+            ParticleEnsemble.concatenate([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(LayoutError):
+            ParticleEnsemble.concatenate([])
+
+
+class TestIterationProtocol:
+    def test_getitem_returns_proxy(self, small_ensemble):
+        proxy = small_ensemble[3]
+        assert proxy.index == 3
+
+    def test_iter_counts(self, layout):
+        ensemble = make_ensemble(5, layout)
+        assert sum(1 for _ in ensemble) == 5
+
+
+class TestConversionProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_aos_soa_roundtrip_lossless(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=32))
+        values = data.draw(st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False,
+                      width=32),
+            min_size=n * 3, max_size=n * 3))
+        positions = np.array(values, dtype=np.float64).reshape(n, 3)
+        aos = ParticleEnsemble.from_arrays(
+            positions, np.zeros((n, 3)), layout=Layout.AOS)
+        soa = aos.to_layout(Layout.SOA)
+        back = soa.to_layout(Layout.AOS)
+        np.testing.assert_array_equal(back.positions(), aos.positions())

@@ -1,0 +1,244 @@
+"""Tests for the m-dipole standing wave (eqs. 14-15 of the paper)."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy.special import spherical_jn
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.fields import MDipoleWave, dipole_amplitude, dipole_f1, \
+    dipole_f2, dipole_f3
+from tests.test_fields_waves import _numerical_maxwell_residual
+
+
+class TestRadialFunctions:
+    def test_f1_is_spherical_bessel_j1(self):
+        x = np.linspace(0.001, 20.0, 200)
+        np.testing.assert_allclose(dipole_f1(x), spherical_jn(1, x),
+                                   rtol=1e-10, atol=1e-14)
+
+    def test_f2_is_spherical_bessel_j2(self):
+        x = np.linspace(0.001, 20.0, 200)
+        np.testing.assert_allclose(dipole_f2(x), spherical_jn(2, x),
+                                   rtol=1e-10, atol=1e-14)
+
+    def test_f3_identity(self):
+        # f3 = j0 - j1/x.
+        x = np.linspace(0.05, 20.0, 200)
+        expected = spherical_jn(0, x) - spherical_jn(1, x) / x
+        np.testing.assert_allclose(dipole_f3(x), expected,
+                                   rtol=1e-10, atol=1e-14)
+
+    def test_series_matches_closed_form_below_threshold(self):
+        # Just below the series switch (|x| < 1e-2) the series value
+        # must agree with scipy's well-conditioned evaluation.
+        x = np.array([0.009, 0.005, 0.001])
+        for order, f in ((1, dipole_f1), (2, dipole_f2)):
+            np.testing.assert_allclose(f(x), spherical_jn(order, x),
+                                       rtol=1e-10)
+        expected = spherical_jn(0, x) - spherical_jn(1, x) / x
+        np.testing.assert_allclose(dipole_f3(x), expected, rtol=1e-10)
+
+    def test_values_at_origin(self):
+        assert dipole_f1(np.array([0.0]))[0] == 0.0
+        assert dipole_f2(np.array([0.0]))[0] == 0.0
+        assert dipole_f3(np.array([0.0]))[0] == pytest.approx(2.0 / 3.0)
+
+    def test_negative_arguments_by_parity(self):
+        # j1 and the combination f3 are odd/even as expected.
+        x = np.array([0.005])
+        assert dipole_f1(-x)[0] == pytest.approx(-dipole_f1(x)[0])
+        assert dipole_f3(-x)[0] == pytest.approx(dipole_f3(x)[0])
+
+
+class TestAmplitude:
+    def test_formula(self):
+        # A0 = k sqrt(3 P / c).
+        power, omega = 1.0e21, 2.1e15
+        k = omega / SPEED_OF_LIGHT
+        assert dipole_amplitude(power, omega) == pytest.approx(
+            k * math.sqrt(3.0 * power / SPEED_OF_LIGHT))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            dipole_amplitude(-1.0, 1.0e15)
+        with pytest.raises(ConfigurationError):
+            dipole_amplitude(1.0e21, 0.0)
+
+    def test_paper_defaults(self):
+        wave = MDipoleWave()
+        assert wave.power == pytest.approx(1.0e21)      # 0.1 PW in erg/s
+        assert wave.omega == pytest.approx(2.1e15)
+        assert wave.wavelength == pytest.approx(0.9e-4, rel=0.005)
+
+
+class TestFieldStructure:
+    def test_ez_identically_zero(self):
+        wave = MDipoleWave()
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-2e-4, 2e-4, (50, 3))
+        values = wave.evaluate(pts[:, 0], pts[:, 1], pts[:, 2], 1e-15)
+        assert np.all(values.ez == 0.0)
+
+    def test_finite_at_origin(self):
+        wave = MDipoleWave()
+        t = math.pi / 2 / wave.omega           # sin(omega t) = 1
+        values = wave.evaluate(np.zeros(1), np.zeros(1), np.zeros(1), t)
+        assert np.isfinite(values.bz[0])
+        # B_z(0) = -2 A0 f3(0) = -(4/3) A0 at sin = 1.
+        assert values.bz[0] == pytest.approx(-4.0 / 3.0 * wave.amplitude,
+                                             rel=1e-9)
+        assert values.ex[0] == values.ey[0] == 0.0
+
+    def test_azimuthal_electric_field(self):
+        # E is azimuthal: E . r = 0 everywhere.
+        wave = MDipoleWave()
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(-1e-4, 1e-4, (100, 3))
+        values = wave.evaluate(pts[:, 0], pts[:, 1], pts[:, 2], 0.1e-15)
+        radial = (values.ex * pts[:, 0] + values.ey * pts[:, 1]
+                  + values.ez * pts[:, 2])
+        scale = np.abs(values.e).max() * np.abs(pts).max()
+        assert np.abs(radial).max() < 1e-10 * scale
+
+    def test_rotational_symmetry_about_z(self):
+        # Rotating the query point about z rotates E and B with it.
+        wave = MDipoleWave()
+        angle = 0.7
+        c, s = math.cos(angle), math.sin(angle)
+        p = np.array([0.3e-4, 0.1e-4, 0.2e-4])
+        q = np.array([c * p[0] - s * p[1], s * p[0] + c * p[1], p[2]])
+        t = 0.4e-15
+        vp = wave.evaluate(*[np.array([v]) for v in p], t)
+        vq = wave.evaluate(*[np.array([v]) for v in q], t)
+        rotated_e = (c * vp.ex[0] - s * vp.ey[0],
+                     s * vp.ex[0] + c * vp.ey[0])
+        assert vq.ex[0] == pytest.approx(rotated_e[0], rel=1e-9)
+        assert vq.ey[0] == pytest.approx(rotated_e[1], rel=1e-9)
+        rotated_b = (c * vp.bx[0] - s * vp.by[0],
+                     s * vp.bx[0] + c * vp.by[0])
+        assert vq.bx[0] == pytest.approx(rotated_b[0], rel=1e-9)
+        assert vq.by[0] == pytest.approx(rotated_b[1], rel=1e-9)
+        assert vq.bz[0] == pytest.approx(vp.bz[0], rel=1e-9)
+
+    def test_standing_wave_time_structure(self):
+        # E ~ cos(omega t), B ~ sin(omega t).
+        wave = MDipoleWave()
+        p = [np.array([0.25e-4]), np.array([0.1e-4]), np.array([0.15e-4])]
+        at_zero = wave.evaluate(*p, 0.0)
+        assert np.abs([at_zero.bx[0], at_zero.by[0], at_zero.bz[0]]).max() \
+            == 0.0
+        quarter = math.pi / 2 / wave.omega
+        at_quarter = wave.evaluate(*p, quarter)
+        assert abs(at_quarter.ex[0]) < 1e-9 * abs(at_zero.ex[0])
+
+
+class TestMaxwellConsistency:
+    def test_corrected_form_satisfies_maxwell(self):
+        wave = MDipoleWave()
+        rng = np.random.default_rng(2)
+        for _ in range(3):
+            point = rng.uniform(-1.2e-4, 1.2e-4, 3)
+            residual = _numerical_maxwell_residual(wave, point, 0.37e-15)
+            assert residual < 1e-6
+
+    def test_paper_typo_form_violates_maxwell(self):
+        # The literally printed eq. (14) does not solve Maxwell's
+        # equations — that is how the typos were identified.
+        wave = MDipoleWave(paper_typos=True)
+        point = np.array([0.31e-4, 0.22e-4, -0.17e-4])
+        residual = _numerical_maxwell_residual(wave, point, 0.37e-15)
+        assert residual > 1e-3
+
+    def test_divergence_free_b(self):
+        wave = MDipoleWave()
+        p = np.array([0.4e-4, -0.2e-4, 0.3e-4])
+        t, h = 0.6e-15, 1e-9
+
+        def b(q):
+            values = wave.evaluate(np.array([q[0]]), np.array([q[1]]),
+                                   np.array([q[2]]), t)
+            return np.array([values.bx[0], values.by[0], values.bz[0]])
+
+        div = sum((b(p + np.eye(3)[i] * h)[i]
+                   - b(p - np.eye(3)[i] * h)[i]) / (2 * h)
+                  for i in range(3))
+        scale = np.abs(b(p)).max() / np.linalg.norm(p)
+        assert abs(div) < 1e-5 * scale
+
+
+class TestPulsedEnvelope:
+    def test_default_is_steady(self):
+        wave = MDipoleWave()
+        assert wave.envelope(0.0) == 1.0
+        assert wave.envelope(1.0e-12) == 1.0
+
+    def test_ramp_shape(self):
+        wave = MDipoleWave(ramp_cycles=4.0)
+        period = 2.0 * math.pi / wave.omega
+        assert wave.envelope(0.0) == 0.0
+        assert wave.envelope(-1.0e-15) == 0.0
+        assert wave.envelope(2.0 * period) == pytest.approx(0.5)
+        assert wave.envelope(4.0 * period) == 1.0
+        assert wave.envelope(10.0 * period) == 1.0
+
+    def test_envelope_monotone_during_ramp(self):
+        wave = MDipoleWave(ramp_cycles=3.0)
+        period = 2.0 * math.pi / wave.omega
+        samples = [wave.envelope(f * 3.0 * period)
+                   for f in (0.1, 0.3, 0.5, 0.7, 0.9)]
+        assert all(a < b for a, b in zip(samples, samples[1:]))
+
+    def test_fields_scaled_by_envelope(self):
+        steady = MDipoleWave()
+        pulsed = MDipoleWave(ramp_cycles=4.0)
+        period = 2.0 * math.pi / steady.omega
+        t = 2.0 * period                      # envelope = 0.5
+        p = [np.array([0.3e-4]), np.array([0.1e-4]), np.array([0.2e-4])]
+        full = steady.evaluate(*p, t)
+        half = pulsed.evaluate(*p, t)
+        assert half.ex[0] == pytest.approx(0.5 * full.ex[0], rel=1e-12)
+        assert half.bz[0] == pytest.approx(0.5 * full.bz[0], rel=1e-12)
+
+    def test_negative_ramp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MDipoleWave(ramp_cycles=-1.0)
+
+    def test_gentle_start_reduces_initial_kick(self):
+        # Physically: electrons born inside the pulse's leading edge
+        # get accelerated more gently than in the abruptly-on wave.
+        import repro
+        steady_ens = repro.paper_benchmark_ensemble(200, seed=31)
+        pulsed_ens = steady_ens.copy()
+        period = 2.0 * math.pi / MDipoleWave.PAPER_OMEGA
+        dt = period / 200.0
+        repro.advance(steady_ens, MDipoleWave(), dt, 100)
+        repro.advance(pulsed_ens, MDipoleWave(ramp_cycles=8.0), dt, 100)
+        assert pulsed_ens.component("gamma").max() < \
+            steady_ens.component("gamma").max()
+
+
+class TestTypoVariant:
+    def test_variants_agree_on_e(self):
+        corrected = MDipoleWave()
+        literal = MDipoleWave(paper_typos=True)
+        pts = np.random.default_rng(3).uniform(-1e-4, 1e-4, (20, 3))
+        a = corrected.evaluate(pts[:, 0], pts[:, 1], pts[:, 2], 1e-16)
+        b = literal.evaluate(pts[:, 0], pts[:, 1], pts[:, 2], 1e-16)
+        np.testing.assert_array_equal(a.ex, b.ex)
+        np.testing.assert_array_equal(a.ey, b.ey)
+
+    def test_variants_differ_on_b(self):
+        corrected = MDipoleWave()
+        literal = MDipoleWave(paper_typos=True)
+        pts = np.random.default_rng(4).uniform(-1e-4, 1e-4, (20, 3))
+        t = math.pi / 2 / corrected.omega
+        a = corrected.evaluate(pts[:, 0], pts[:, 1], pts[:, 2], t)
+        b = literal.evaluate(pts[:, 0], pts[:, 1], pts[:, 2], t)
+        assert not np.allclose(a.by, b.by)
+        assert not np.allclose(a.bz, b.bz)
+
+    def test_flops_attribute_positive(self):
+        assert MDipoleWave.flops_per_evaluation > 100

@@ -1,0 +1,71 @@
+"""Tests for uniform and crossed field sources."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.fields import CrossedField, NullField, UniformField
+from repro.fp import FP3
+
+
+class TestNullField:
+    def test_zero_everywhere(self):
+        x = np.linspace(-1, 1, 7)
+        values = NullField().evaluate(x, x, x, 3.0)
+        for component in values:
+            assert np.all(component == 0.0)
+
+    def test_outputs_independent(self):
+        values = NullField().evaluate(np.zeros(3), np.zeros(3),
+                                      np.zeros(3), 0.0)
+        values.ex[0] = 1.0
+        assert values.ey[0] == 0.0
+
+
+class TestUniformField:
+    def test_constant_values(self):
+        field = UniformField(e=(1, 2, 3), b=(4, 5, 6))
+        values = field.evaluate(np.zeros(5), np.zeros(5), np.zeros(5), 9.9)
+        assert np.all(values.ex == 1) and np.all(values.bz == 6)
+
+    def test_shape_follows_input(self):
+        field = UniformField(e=(1, 0, 0))
+        values = field.evaluate(np.zeros((2, 3)), np.zeros((2, 3)),
+                                np.zeros((2, 3)), 0.0)
+        assert values.ex.shape == (2, 3)
+
+    def test_scalar_evaluate_at(self):
+        field = UniformField(b=(0, 0, 7))
+        e, b = field.evaluate_at(FP3(1, 2, 3), 0.0)
+        assert b.z == 7.0
+        assert e.norm() == 0.0
+
+    def test_field_values_stack_accessors(self):
+        field = UniformField(e=(1, 2, 3))
+        values = field.evaluate(np.zeros(2), np.zeros(2), np.zeros(2), 0.0)
+        assert values.e.shape == (2, 3)
+        np.testing.assert_array_equal(values.e[0], [1, 2, 3])
+
+
+class TestCrossedField:
+    def test_drift_velocity_formula(self):
+        field = CrossedField(e=5.0e3, b=1.0e4)
+        vd = field.drift_velocity
+        assert vd[1] == pytest.approx(-SPEED_OF_LIGHT * 0.5)
+        assert vd[0] == vd[2] == 0.0
+
+    def test_rejects_superluminal_drift(self):
+        with pytest.raises(ConfigurationError):
+            CrossedField(e=2.0e4, b=1.0e4)
+
+    def test_rejects_zero_b(self):
+        with pytest.raises(ConfigurationError):
+            CrossedField(e=1.0, b=0.0)
+
+    def test_field_orientation(self):
+        field = CrossedField(e=1.0e3, b=1.0e4)
+        values = field.evaluate(np.zeros(1), np.zeros(1), np.zeros(1), 0.0)
+        assert values.ex[0] == 1.0e3
+        assert values.bz[0] == 1.0e4
+        assert values.ey[0] == values.by[0] == 0.0

@@ -1,0 +1,127 @@
+"""Tests for the FP precision abstraction and FP3 vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fp import FP3, Precision
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+vectors = st.builds(FP3, finite, finite, finite)
+
+
+class TestPrecision:
+    def test_dtypes(self):
+        assert Precision.SINGLE.dtype == np.float32
+        assert Precision.DOUBLE.dtype == np.float64
+
+    def test_itemsizes(self):
+        assert Precision.SINGLE.itemsize == 4
+        assert Precision.DOUBLE.itemsize == 8
+
+    def test_paper_particle_bytes_single(self):
+        # Section 3: "storage of each particle requires 34 bytes of
+        # memory (36 bytes after memory alignment)".
+        assert Precision.SINGLE.particle_bytes == 34
+        assert Precision.SINGLE.particle_bytes_aligned == 36
+
+    def test_paper_particle_bytes_double(self):
+        # Section 3: "66 bytes of memory (72 bytes after alignment)".
+        assert Precision.DOUBLE.particle_bytes == 66
+        assert Precision.DOUBLE.particle_bytes_aligned == 72
+
+    def test_values_match_paper_labels(self):
+        assert Precision.SINGLE.value == "float"
+        assert Precision.DOUBLE.value == "double"
+
+    def test_epsilon(self):
+        assert Precision.SINGLE.epsilon == pytest.approx(1.19e-7, rel=0.01)
+        assert Precision.DOUBLE.epsilon == pytest.approx(2.22e-16, rel=0.01)
+
+    def test_from_dtype(self):
+        assert Precision.from_dtype(np.float32) is Precision.SINGLE
+        assert Precision.from_dtype(np.dtype("float64")) is Precision.DOUBLE
+
+    def test_from_dtype_rejects_others(self):
+        with pytest.raises(ConfigurationError):
+            Precision.from_dtype(np.int32)
+
+
+class TestFP3Arithmetic:
+    def test_add_sub(self):
+        a = FP3(1.0, 2.0, 3.0)
+        b = FP3(0.5, -1.0, 2.0)
+        assert (a + b) == FP3(1.5, 1.0, 5.0)
+        assert (a - b) == FP3(0.5, 3.0, 1.0)
+
+    def test_scalar_multiplication_commutes(self):
+        a = FP3(1.0, -2.0, 3.0)
+        assert a * 2.0 == 2.0 * a == FP3(2.0, -4.0, 6.0)
+
+    def test_division(self):
+        assert FP3(2.0, 4.0, 6.0) / 2.0 == FP3(1.0, 2.0, 3.0)
+
+    def test_negation(self):
+        assert -FP3(1.0, -2.0, 3.0) == FP3(-1.0, 2.0, -3.0)
+
+    def test_iteration_order(self):
+        assert list(FP3(1.0, 2.0, 3.0)) == [1.0, 2.0, 3.0]
+
+    def test_norm(self):
+        assert FP3(3.0, 4.0, 0.0).norm() == pytest.approx(5.0)
+        assert FP3(3.0, 4.0, 0.0).norm2() == pytest.approx(25.0)
+
+    def test_cross_right_handed(self):
+        x, y = FP3(1, 0, 0), FP3(0, 1, 0)
+        assert x.cross(y) == FP3(0, 0, 1)
+
+    def test_array_roundtrip(self):
+        a = FP3(1.5, -2.5, 3.5)
+        assert FP3.from_array(a.as_array()) == a
+
+    def test_copy_is_independent(self):
+        a = FP3(1.0, 2.0, 3.0)
+        b = a.copy()
+        b.x = 9.0
+        assert a.x == 1.0
+
+
+class TestFP3Properties:
+    @given(vectors, vectors)
+    def test_cross_antisymmetric(self, a, b):
+        ab = a.cross(b)
+        ba = b.cross(a)
+        assert ab.x == pytest.approx(-ba.x, abs=1e-6)
+        assert ab.y == pytest.approx(-ba.y, abs=1e-6)
+        assert ab.z == pytest.approx(-ba.z, abs=1e-6)
+
+    @given(vectors, vectors)
+    def test_cross_orthogonal_to_operands(self, a, b):
+        c = a.cross(b)
+        scale = max(a.norm() * b.norm(), 1.0)
+        assert abs(c.dot(a)) <= 1e-6 * scale * max(a.norm(), 1.0)
+        assert abs(c.dot(b)) <= 1e-6 * scale * max(b.norm(), 1.0)
+
+    @given(vectors)
+    def test_self_cross_is_zero(self, a):
+        c = a.cross(a)
+        assert c.norm() <= 1e-9 * max(a.norm2(), 1.0)
+
+    @given(vectors, vectors)
+    def test_dot_symmetric(self, a, b):
+        assert a.dot(b) == pytest.approx(b.dot(a), rel=1e-12, abs=1e-12)
+
+    @given(vectors)
+    def test_norm_matches_numpy(self, a):
+        assert a.norm() == pytest.approx(
+            float(np.linalg.norm(a.as_array())), rel=1e-12, abs=1e-12)
+
+    @given(vectors, vectors, vectors)
+    def test_lagrange_triple_product(self, a, b, c):
+        # a x (b x c) = b (a.c) - c (a.b)
+        left = a.cross(b.cross(c))
+        right = b * a.dot(c) - c * a.dot(b)
+        scale = max(a.norm() * b.norm() * c.norm(), 1.0)
+        assert (left - right).norm() <= 1e-6 * scale

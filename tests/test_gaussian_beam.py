@@ -1,0 +1,102 @@
+"""Tests for the paraxial Gaussian beam."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.fields import GaussianBeam, MDipoleWave
+
+OMEGA = 2.1e15
+WAVELENGTH = 2.0 * math.pi * SPEED_OF_LIGHT / OMEGA
+
+
+def beam(power=1.0e21, waist=3.0 * WAVELENGTH):
+    return GaussianBeam(power, OMEGA, waist)
+
+
+class TestGeometry:
+    def test_rayleigh_range(self):
+        b = beam()
+        expected = 0.5 * (OMEGA / SPEED_OF_LIGHT) * b.waist ** 2
+        assert b.rayleigh_range == pytest.approx(expected)
+
+    def test_waist_doubles_area_at_rayleigh_range(self):
+        b = beam()
+        w = b.beam_radius(np.array([b.rayleigh_range]))[0]
+        assert w == pytest.approx(math.sqrt(2.0) * b.waist)
+
+    def test_radius_symmetric(self):
+        b = beam()
+        x = np.array([1.0e-3])
+        assert b.beam_radius(x)[0] == b.beam_radius(-x)[0]
+
+    def test_rejects_subwavelength_waist(self):
+        with pytest.raises(ConfigurationError):
+            GaussianBeam(1.0e21, OMEGA, 0.5 * WAVELENGTH)
+
+    def test_rejects_bad_power_and_omega(self):
+        with pytest.raises(ConfigurationError):
+            GaussianBeam(0.0, OMEGA, 3 * WAVELENGTH)
+        with pytest.raises(ConfigurationError):
+            GaussianBeam(1.0e21, -1.0, 3 * WAVELENGTH)
+
+
+class TestFieldStructure:
+    def test_on_axis_amplitude_at_focus(self):
+        b = beam()
+        values = b.evaluate(np.zeros(1), np.zeros(1), np.zeros(1), 0.0)
+        assert abs(values.ey[0]) == pytest.approx(b.amplitude, rel=1e-12)
+
+    def test_amplitude_formula_from_power(self):
+        b = beam()
+        expected = math.sqrt(16.0 * b.power
+                             / (SPEED_OF_LIGHT * b.waist ** 2))
+        assert b.amplitude == pytest.approx(expected)
+
+    def test_transverse_gaussian_profile(self):
+        b = beam()
+        r = b.waist
+        centre = b.evaluate(np.zeros(1), np.zeros(1), np.zeros(1), 0.0)
+        edge = b.evaluate(np.zeros(1), np.array([r]), np.zeros(1), 0.0)
+        # At the focus the phase is transversely flat (R -> inf), so
+        # the ratio is the pure envelope: exp(-1).
+        assert abs(edge.ey[0] / centre.ey[0]) == pytest.approx(
+            math.exp(-1.0), rel=1e-9)
+
+    def test_amplitude_decays_along_axis(self):
+        b = beam()
+        x = np.array([0.0, b.rayleigh_range, 3.0 * b.rayleigh_range])
+        # Compare envelopes via w(x): on-axis amplitude ~ w0/w.
+        w = b.beam_radius(x)
+        assert w[0] < w[1] < w[2]
+
+    def test_transverse_field_components_only(self):
+        b = beam()
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-5e-4, 5e-4, (20, 3))
+        values = b.evaluate(pts[:, 0], pts[:, 1], pts[:, 2], 1e-16)
+        assert np.all(values.ex == 0.0)
+        assert np.all(values.bx == 0.0)
+        np.testing.assert_array_equal(values.ey, values.bz)
+
+
+class TestComparisonWithDipole:
+    def test_dipole_focus_beats_gaussian_at_same_power(self):
+        """The physics point of refs [20][24]: 4-pi (dipole) focusing
+        concentrates the same power into higher peak field than any
+        paraxial beam."""
+        power = 1.0e21
+        dipole = MDipoleWave(power=power)
+        lens = GaussianBeam(power, OMEGA, waist=3.0 * WAVELENGTH)
+        # Dipole peak B at focus (sin = 1): (4/3) A0.
+        dipole_peak = 4.0 / 3.0 * dipole.amplitude
+        assert dipole_peak > 3.0 * lens.peak_field()
+
+    def test_tighter_waist_higher_field(self):
+        loose = GaussianBeam(1.0e21, OMEGA, 6.0 * WAVELENGTH)
+        tight = GaussianBeam(1.0e21, OMEGA, 2.0 * WAVELENGTH)
+        assert tight.peak_field() == pytest.approx(
+            3.0 * loose.peak_field(), rel=1e-12)

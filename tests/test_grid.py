@@ -1,0 +1,110 @@
+"""Tests for regular grids and the Yee grid."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fields import MDipoleWave, RegularGrid3D, UniformField, YeeGrid
+from repro.fields.grid import YEE_STAGGER
+
+
+class TestRegularGrid:
+    def test_geometry(self):
+        grid = RegularGrid3D((1, 2, 3), (0.5, 1.0, 2.0), (4, 2, 2))
+        assert grid.upper == (3.0, 4.0, 7.0)
+        assert grid.extent == (2.0, 2.0, 4.0)
+        assert grid.num_cells == 16
+        assert grid.cell_volume == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RegularGrid3D((0, 0, 0), (0.0, 1, 1), (4, 4, 4))
+        with pytest.raises(ConfigurationError):
+            RegularGrid3D((0, 0, 0), (1, 1, 1), (0, 4, 4))
+
+    def test_node_coordinates(self):
+        grid = RegularGrid3D((10.0, 0, 0), (2.0, 1, 1), (3, 1, 1))
+        np.testing.assert_allclose(grid.node_coordinates(0),
+                                   [10.0, 12.0, 14.0])
+        np.testing.assert_allclose(grid.node_coordinates(0, stagger=0.5),
+                                   [11.0, 13.0, 15.0])
+
+    def test_node_coordinates_bad_axis(self):
+        grid = RegularGrid3D((0, 0, 0), (1, 1, 1), (2, 2, 2))
+        with pytest.raises(ConfigurationError):
+            grid.node_coordinates(3)
+
+    def test_wrap_positions(self):
+        grid = RegularGrid3D((0, 0, 0), (1, 1, 1), (4, 4, 4))
+        wrapped = grid.wrap_positions(np.array([[4.5, -0.5, 8.25]]))
+        np.testing.assert_allclose(wrapped, [[0.5, 3.5, 0.25]])
+
+    def test_wrap_respects_origin(self):
+        grid = RegularGrid3D((10, 10, 10), (1, 1, 1), (2, 2, 2))
+        wrapped = grid.wrap_positions(np.array([[9.5, 12.5, 10.5]]))
+        np.testing.assert_allclose(wrapped, [[11.5, 10.5, 10.5]])
+
+    def test_repr(self):
+        grid = RegularGrid3D((0, 0, 0), (1, 1, 1), (2, 2, 2))
+        assert "dims=(2, 2, 2)" in repr(grid)
+
+
+class TestYeeGrid:
+    def test_six_components_allocated(self):
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (4, 3, 2))
+        for name in ("ex", "ey", "ez", "bx", "by", "bz"):
+            assert grid.component(name).shape == (4, 3, 2)
+
+    def test_unknown_component_rejected(self):
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (2, 2, 2))
+        with pytest.raises(ConfigurationError):
+            grid.component("hx")
+
+    def test_stagger_positions(self):
+        grid = YeeGrid((0, 0, 0), (2.0, 2.0, 2.0), (2, 2, 2))
+        # Ex lives at (i + 1/2, j, k).
+        assert grid.component_coordinates("ex", 0)[0] == pytest.approx(1.0)
+        assert grid.component_coordinates("ex", 1)[0] == pytest.approx(0.0)
+        # Bx lives at (i, j + 1/2, k + 1/2).
+        assert grid.component_coordinates("bx", 0)[0] == pytest.approx(0.0)
+        assert grid.component_coordinates("bx", 2)[0] == pytest.approx(1.0)
+
+    def test_stagger_table_complete(self):
+        assert set(YEE_STAGGER) == {"ex", "ey", "ez", "bx", "by", "bz"}
+
+    def test_currents_and_clear(self):
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (2, 2, 2))
+        grid.currents["jx"][0, 0, 0] = 5.0
+        grid.clear_currents()
+        assert np.all(grid.currents["jx"] == 0.0)
+
+    def test_fill_from_uniform_source(self):
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (3, 3, 3))
+        grid.fill_from_source(UniformField(e=(1, 2, 3), b=(4, 5, 6)), 0.0)
+        assert np.all(grid.component("ey") == 2.0)
+        assert np.all(grid.component("bz") == 6.0)
+
+    def test_fill_from_dipole_matches_pointwise(self):
+        wave = MDipoleWave()
+        spacing = wave.wavelength / 8
+        grid = YeeGrid((-2 * spacing, -2 * spacing, -2 * spacing),
+                       (spacing, spacing, spacing), (4, 4, 4))
+        t = 0.3e-15
+        grid.fill_from_source(wave, t)
+        x = grid.component_coordinates("bz", 0)[1]
+        y = grid.component_coordinates("bz", 1)[2]
+        z = grid.component_coordinates("bz", 2)[0]
+        direct = wave.evaluate(np.array([x]), np.array([y]),
+                               np.array([z]), t)
+        assert grid.component("bz")[1, 2, 0] == pytest.approx(direct.bz[0])
+
+    def test_field_energy_uniform(self):
+        grid = YeeGrid((0, 0, 0), (2.0, 1.0, 1.0), (2, 2, 2))
+        grid.fill_from_source(UniformField(e=(3.0, 0, 0)), 0.0)
+        # u = E^2 / (8 pi) per unit volume; volume = 16.
+        expected = 9.0 / (8.0 * np.pi) * 16.0
+        assert grid.field_energy() == pytest.approx(expected)
+
+    def test_field_energy_zero_for_empty_grid(self):
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (2, 2, 2))
+        assert grid.field_energy() == 0.0

@@ -1,0 +1,113 @@
+"""Tests for ensemble initializers."""
+
+import numpy as np
+import pytest
+
+from repro.constants import ELECTRON_MASS
+from repro.errors import ConfigurationError
+from repro.fp import Precision
+from repro.particles import Layout, cold_sphere, uniform_box, \
+    paper_benchmark_ensemble
+from repro.particles.initializers import (PAPER_SPHERE_RADIUS,
+                                          PAPER_WAVELENGTH,
+                                          maxwellian_momenta,
+                                          uniform_sphere_positions)
+
+
+class TestUniformSphere:
+    def test_all_inside(self):
+        pos = uniform_sphere_positions(2000, radius=2.0, seed=1)
+        radii = np.linalg.norm(pos, axis=1)
+        assert radii.max() <= 2.0
+
+    def test_volume_uniformity(self):
+        # For uniform density, P(r < R/2) = 1/8.
+        pos = uniform_sphere_positions(40000, radius=1.0, seed=2)
+        radii = np.linalg.norm(pos, axis=1)
+        inner = float((radii < 0.5).mean())
+        assert inner == pytest.approx(0.125, abs=0.01)
+
+    def test_centre_offset(self):
+        pos = uniform_sphere_positions(5000, radius=0.1,
+                                       center=(10.0, 0.0, 0.0), seed=3)
+        assert pos[:, 0].mean() == pytest.approx(10.0, abs=0.01)
+
+    def test_isotropy(self):
+        pos = uniform_sphere_positions(40000, radius=1.0, seed=4)
+        mean = pos.mean(axis=0)
+        assert np.abs(mean).max() < 0.02
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ConfigurationError):
+            uniform_sphere_positions(10, radius=-1.0)
+
+    def test_deterministic_with_seed(self):
+        a = uniform_sphere_positions(100, 1.0, seed=5)
+        b = uniform_sphere_positions(100, 1.0, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestColdSphere:
+    def test_at_rest(self, layout):
+        ensemble = cold_sphere(50, 1.0, layout=layout, seed=0)
+        assert np.all(ensemble.momenta() == 0.0)
+        assert np.all(ensemble.component("gamma") == 1.0)
+
+    def test_layout_and_precision(self):
+        ensemble = cold_sphere(10, 1.0, layout=Layout.AOS,
+                               precision=Precision.SINGLE, seed=0)
+        assert ensemble.layout is Layout.AOS
+        assert ensemble.precision is Precision.SINGLE
+
+    def test_weight_and_type(self):
+        ensemble = cold_sphere(10, 1.0, type_id=2, weight=4.0, seed=0)
+        assert np.all(ensemble.type_ids == 2)
+        assert np.all(ensemble.component("weight") == 4.0)
+
+
+class TestUniformBox:
+    def test_within_bounds(self):
+        ensemble = uniform_box(500, (0, 0, 0), (1, 2, 3), seed=0)
+        pos = ensemble.positions()
+        assert pos.min() >= 0.0
+        assert np.all(pos.max(axis=0) <= [1, 2, 3])
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            uniform_box(10, (0, 0, 0), (1, -1, 1))
+
+
+class TestMaxwellian:
+    def test_moments(self):
+        temperature = 1.0e-9      # erg
+        momenta = maxwellian_momenta(200_000, temperature, ELECTRON_MASS,
+                                     seed=0)
+        variance = momenta.var(axis=0)
+        np.testing.assert_allclose(variance,
+                                   ELECTRON_MASS * temperature, rtol=0.02)
+
+    def test_zero_temperature(self):
+        momenta = maxwellian_momenta(100, 0.0, ELECTRON_MASS, seed=0)
+        assert np.all(momenta == 0.0)
+
+    def test_rejects_negative_temperature(self):
+        with pytest.raises(ConfigurationError):
+            maxwellian_momenta(10, -1.0, ELECTRON_MASS)
+
+    def test_rejects_bad_mass(self):
+        with pytest.raises(ConfigurationError):
+            maxwellian_momenta(10, 1.0, 0.0)
+
+
+class TestPaperEnsemble:
+    def test_paper_geometry(self):
+        # 0.6 lambda sphere of 0.9 um light.
+        assert PAPER_WAVELENGTH == pytest.approx(0.9e-4)
+        assert PAPER_SPHERE_RADIUS == pytest.approx(0.54e-4)
+
+    def test_electrons_at_rest_in_sphere(self):
+        ensemble = paper_benchmark_ensemble(1000, seed=0)
+        radii = np.linalg.norm(ensemble.positions(), axis=1)
+        assert radii.max() <= PAPER_SPHERE_RADIUS
+        assert np.all(ensemble.momenta() == 0.0)
+        assert np.all(ensemble.type_ids == 0)

@@ -1,0 +1,135 @@
+"""Tests for grid-to-particle interpolation (form factors)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fields import (GridFieldSource, Shape, UniformField, YeeGrid,
+                          interpolate_cic, interpolate_from_yee_grid)
+from repro.fields.interpolation import interpolate_component, shape_weights
+
+
+class TestShapeWeights:
+    def test_supports(self):
+        assert Shape.NGP.support == 1
+        assert Shape.CIC.support == 2
+        assert Shape.TSC.support == 3
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+    def test_weights_sum_to_one(self, fraction):
+        frac = np.array([fraction])
+        for shape in Shape:
+            _, weights = shape_weights(shape, frac)
+            assert weights.sum() == pytest.approx(1.0, abs=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+    def test_weights_nonnegative(self, fraction):
+        for shape in Shape:
+            _, weights = shape_weights(shape, np.array([fraction]))
+            assert np.all(weights >= -1e-15)
+
+    def test_cic_on_node_is_exact(self):
+        indices, weights = shape_weights(Shape.CIC, np.array([3.0]))
+        assert weights[0, 0] == pytest.approx(1.0)
+        assert indices[0, 0] == 3
+
+    def test_cic_midpoint_splits_evenly(self):
+        _, weights = shape_weights(Shape.CIC, np.array([3.5]))
+        np.testing.assert_allclose(weights[0], [0.5, 0.5])
+
+    def test_tsc_centre_weight(self):
+        _, weights = shape_weights(Shape.TSC, np.array([3.0]))
+        np.testing.assert_allclose(weights[0], [0.125, 0.75, 0.125])
+
+    def test_ngp_picks_nearest(self):
+        indices, _ = shape_weights(Shape.NGP, np.array([3.4, 3.6]))
+        assert list(indices[:, 0]) == [3, 4]
+
+
+class TestInterpolateComponent:
+    def _linear_grid(self, dims=(8, 8, 8)):
+        grid = np.zeros(dims)
+        xs = np.arange(dims[0])
+        grid[:] = (2.0 * xs)[:, None, None]
+        return grid
+
+    def test_exact_for_linear_fields_cic(self):
+        # CIC reproduces linear functions exactly (away from the wrap).
+        values = self._linear_grid()
+        positions = np.array([[2.25, 3.0, 3.0], [4.75, 1.0, 6.0]])
+        result = interpolate_cic(values, positions, (0, 0, 0), (1, 1, 1))
+        np.testing.assert_allclose(result, [4.5, 9.5])
+
+    def test_tsc_exact_for_linear_fields(self):
+        values = self._linear_grid()
+        positions = np.array([[3.3, 4.0, 4.0]])
+        result = interpolate_component(values, positions, (0, 0, 0),
+                                       (1, 1, 1), shape=Shape.TSC)
+        assert result[0] == pytest.approx(6.6)
+
+    def test_periodic_wrap(self):
+        values = np.zeros((4, 4, 4))
+        values[0, 0, 0] = 8.0
+        # A particle just below the upper boundary sees node 0 through
+        # the periodic wrap.
+        positions = np.array([[3.75, 0.0, 0.0]])
+        result = interpolate_cic(values, positions, (0, 0, 0), (1, 1, 1))
+        assert result[0] == pytest.approx(6.0)
+
+    def test_stagger_shifts_sample_points(self):
+        values = self._linear_grid()
+        positions = np.array([[3.0, 3.0, 3.0]])
+        centred = interpolate_component(values, positions, (0, 0, 0),
+                                        (1, 1, 1), stagger=(0.5, 0, 0))
+        # Array entry i (value 2i) now sits at x = i + 1/2, so the
+        # stored samples describe the linear function 2(x - 1/2);
+        # interpolation at x = 3 must give 5, not 6.
+        assert centred[0] == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            interpolate_cic(np.zeros((2, 2, 2)), np.zeros((3, 2)),
+                            (0, 0, 0), (1, 1, 1))
+        with pytest.raises(ConfigurationError):
+            interpolate_cic(np.zeros((2, 2)), np.zeros((3, 3)),
+                            (0, 0, 0), (1, 1, 1))
+
+
+class TestYeeInterpolation:
+    def test_uniform_field_reproduced_everywhere(self, rng):
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (6, 6, 6))
+        grid.fill_from_source(UniformField(e=(1, 2, 3), b=(4, 5, 6)), 0.0)
+        positions = rng.uniform(0.0, 6.0, (40, 3))
+        values = interpolate_from_yee_grid(grid, positions)
+        np.testing.assert_allclose(values.ex, 1.0)
+        np.testing.assert_allclose(values.by, 5.0)
+
+    def test_matches_manual_component_interpolation(self, rng):
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (5, 5, 5))
+        grid.component("ez")[:] = rng.normal(size=(5, 5, 5))
+        positions = rng.uniform(0, 5, (10, 3))
+        values = interpolate_from_yee_grid(grid, positions)
+        from repro.fields.grid import YEE_STAGGER
+        manual = interpolate_component(grid.component("ez"), positions,
+                                       grid.origin, grid.spacing,
+                                       stagger=YEE_STAGGER["ez"])
+        np.testing.assert_allclose(values.ez, manual)
+
+
+class TestGridFieldSource:
+    def test_adapts_grid_to_field_source(self, rng):
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (4, 4, 4))
+        grid.fill_from_source(UniformField(b=(0, 0, 9.0)), 0.0)
+        source = GridFieldSource(grid)
+        x = rng.uniform(0, 4, 5)
+        values = source.evaluate(x, x, x, 123.0)   # time ignored
+        np.testing.assert_allclose(values.bz, 9.0)
+
+    def test_preserves_input_shape(self):
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (4, 4, 4))
+        source = GridFieldSource(grid)
+        shaped = np.zeros((2, 3))
+        assert source.evaluate(shaped, shaped, shaped, 0.0).ex.shape == (2, 3)

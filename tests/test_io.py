@@ -1,0 +1,99 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro import io
+from repro.errors import ConfigurationError
+from repro.fields import UniformField, YeeGrid
+from repro.fp import Precision
+from repro.particles import (Layout, ParticleSpecies, ParticleTypeTable,
+                             make_ensemble)
+from repro.particles.ensemble import COMPONENTS
+
+
+class TestEnsembleRoundtrip:
+    def test_bitwise_roundtrip(self, tmp_path, small_ensemble):
+        path = tmp_path / "state.npz"
+        io.save_ensemble(path, small_ensemble)
+        loaded = io.load_ensemble(path)
+        assert loaded.layout is small_ensemble.layout
+        assert loaded.precision is small_ensemble.precision
+        for name in COMPONENTS:
+            np.testing.assert_array_equal(loaded.component(name),
+                                          small_ensemble.component(name))
+        np.testing.assert_array_equal(loaded.type_ids,
+                                      small_ensemble.type_ids)
+
+    def test_single_precision_preserved(self, tmp_path):
+        ensemble = make_ensemble(10, Layout.AOS, Precision.SINGLE)
+        path = tmp_path / "single.npz"
+        io.save_ensemble(path, ensemble)
+        loaded = io.load_ensemble(path)
+        assert loaded.precision is Precision.SINGLE
+        assert loaded.component("px").dtype == np.float32
+
+    def test_species_table_travels(self, tmp_path):
+        table = ParticleTypeTable()
+        table.register(ParticleSpecies("muon", 1.88e-25, -4.8e-10))
+        ensemble = make_ensemble(4, Layout.SOA, type_table=table)
+        path = tmp_path / "muons.npz"
+        io.save_ensemble(path, ensemble)
+        loaded = io.load_ensemble(path)
+        assert loaded.type_table[0].name == "muon"
+        assert loaded.type_table[0].mass == pytest.approx(1.88e-25)
+
+    def test_empty_ensemble(self, tmp_path):
+        ensemble = make_ensemble(0, Layout.SOA)
+        path = tmp_path / "empty.npz"
+        io.save_ensemble(path, ensemble)
+        assert io.load_ensemble(path).size == 0
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        grid = YeeGrid((0, 0, 0), (1, 1, 1), (2, 2, 2))
+        path = tmp_path / "grid.npz"
+        io.save_grid(path, grid)
+        with pytest.raises(ConfigurationError):
+            io.load_ensemble(path)
+
+
+class TestGridRoundtrip:
+    def test_fields_and_geometry_roundtrip(self, tmp_path):
+        grid = YeeGrid((1.0, 2.0, 3.0), (0.5, 0.5, 0.5), (4, 3, 2))
+        grid.fill_from_source(UniformField(e=(1, 2, 3), b=(4, 5, 6)), 0.0)
+        grid.currents["jy"][1, 1, 1] = 7.0
+        path = tmp_path / "grid.npz"
+        io.save_grid(path, grid, time=2.5e-15)
+        loaded, time = io.load_grid(path)
+        assert time == 2.5e-15
+        assert loaded.origin == grid.origin
+        assert loaded.dims == grid.dims
+        np.testing.assert_array_equal(loaded.component("bz"),
+                                      grid.component("bz"))
+        assert loaded.currents["jy"][1, 1, 1] == 7.0
+
+    def test_rejects_wrong_kind(self, tmp_path, small_ensemble):
+        path = tmp_path / "ens.npz"
+        io.save_ensemble(path, small_ensemble)
+        with pytest.raises(ConfigurationError):
+            io.load_grid(path)
+
+
+class TestResume:
+    def test_resumed_push_matches_uninterrupted(self, tmp_path):
+        """A checkpoint/restore mid-run must not perturb the physics."""
+        import repro
+        wave = repro.MDipoleWave()
+        dt = 2.0 * np.pi / wave.omega / 100.0
+        a = repro.paper_benchmark_ensemble(100, seed=21)
+        repro.setup_leapfrog(a, wave, dt)
+        b_path = tmp_path / "mid.npz"
+
+        repro.advance(a, wave, dt, 5)
+        io.save_ensemble(b_path, a)
+        repro.advance(a, wave, dt, 5, start_time=5 * dt)
+
+        b = io.load_ensemble(b_path)
+        repro.advance(b, wave, dt, 5, start_time=5 * dt)
+        np.testing.assert_array_equal(a.positions(), b.positions())
+        np.testing.assert_array_equal(a.momenta(), b.momenta())

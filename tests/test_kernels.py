@@ -1,0 +1,62 @@
+"""Tests for the fused push kernels (scenario semantics)."""
+
+import numpy as np
+
+from repro.core import advance, BORIS_FLOPS, GAMMA_FLOPS, POSITION_FLOPS
+from repro.core.kernels import (boris_push_analytical,
+                                boris_push_precalculated)
+from repro.fields import MDipoleWave, PrecalculatedField
+from repro.particles.initializers import paper_benchmark_ensemble
+
+
+class TestScenarioEquivalence:
+    def test_precalculated_equals_analytical_for_one_step(self, layout):
+        """The paper's two scenarios compute identical physics when the
+        precalculated array is refreshed at the particles' positions."""
+        wave = MDipoleWave()
+        a = paper_benchmark_ensemble(64, layout=layout, seed=1)
+        b = a.copy()
+        dt = 1e-16
+        t = 0.2e-15
+
+        precalc = PrecalculatedField.from_source(wave, a, t)
+        boris_push_precalculated(a, precalc, dt)
+        boris_push_analytical(b, wave, t, dt)
+
+        np.testing.assert_array_equal(a.momenta(), b.momenta())
+        np.testing.assert_array_equal(a.positions(), b.positions())
+
+    def test_multi_step_with_refresh(self):
+        wave = MDipoleWave()
+        a = paper_benchmark_ensemble(32, seed=2)
+        b = a.copy()
+        dt = 1e-16
+        precalc = PrecalculatedField(a.size, a.precision, a.layout)
+        time = 0.0
+        for _ in range(5):
+            precalc.refresh(wave, a, time)
+            boris_push_precalculated(a, precalc, dt)
+            boris_push_analytical(b, wave, time, dt)
+            time += dt
+        np.testing.assert_allclose(a.positions(), b.positions(), rtol=1e-14)
+
+    def test_analytical_matches_advance_driver(self):
+        wave = MDipoleWave()
+        a = paper_benchmark_ensemble(32, seed=3)
+        b = a.copy()
+        dt = 1e-16
+        time = 0.0
+        for _ in range(3):
+            boris_push_analytical(a, wave, time, dt)
+            time += dt
+        advance(b, wave, dt, 3)
+        np.testing.assert_array_equal(a.positions(), b.positions())
+
+
+class TestFlopConstants:
+    def test_positive_and_plausible(self):
+        assert BORIS_FLOPS > 50
+        assert GAMMA_FLOPS > 5
+        assert POSITION_FLOPS > 5
+        total = BORIS_FLOPS + 2 * GAMMA_FLOPS + POSITION_FLOPS
+        assert 100 < total < 300

@@ -1,0 +1,158 @@
+"""Tests for the buffer/accessor memory model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.oneapi import (AccessMode, Buffer, KernelSpec, MemoryStream,
+                          Queue, StreamKind)
+from repro.oneapi.device import DeviceType
+from tests.test_oneapi_device import make_device
+
+
+def spec(name="k"):
+    return KernelSpec(name=name, streams=(
+        MemoryStream(name="s", kind=StreamKind.READ, bytes_per_item=8),),
+        flops_per_item=10)
+
+
+class TestAccessMode:
+    def test_read_flags(self):
+        assert AccessMode.READ.reads and not AccessMode.READ.writes
+
+    def test_write_flags(self):
+        assert AccessMode.WRITE.writes and not AccessMode.WRITE.reads
+
+    def test_read_write_flags(self):
+        assert AccessMode.READ_WRITE.reads and AccessMode.READ_WRITE.writes
+
+    def test_discard_write_flags(self):
+        assert AccessMode.DISCARD_WRITE.writes
+        assert not AccessMode.DISCARD_WRITE.reads
+
+
+class TestCoherenceProtocol:
+    def test_first_read_copies_to_device(self):
+        buffer = Buffer(np.zeros(1000))
+        accessor = buffer.get_access(AccessMode.READ, "gpu0")
+        assert accessor.transfer_bytes == 8000
+        assert buffer.transfers_to_device == 1
+
+    def test_repeated_reads_use_cached_copy(self):
+        buffer = Buffer(np.zeros(1000))
+        buffer.get_access(AccessMode.READ, "gpu0")
+        second = buffer.get_access(AccessMode.READ, "gpu0")
+        assert second.transfer_bytes == 0
+        assert buffer.transfers_to_device == 1
+
+    def test_write_invalidates_host_and_other_devices(self):
+        buffer = Buffer(np.zeros(1000))
+        buffer.get_access(AccessMode.READ, "gpu0")
+        buffer.get_access(AccessMode.READ_WRITE, "gpu1")
+        assert not buffer.host_is_current
+        # gpu0's copy is now stale: a read there moves data again.
+        accessor = buffer.get_access(AccessMode.READ, "gpu0")
+        assert accessor.transfer_bytes > 0
+
+    def test_host_read_after_device_write_syncs_back(self):
+        buffer = Buffer(np.zeros(1000))
+        buffer.get_access(AccessMode.WRITE, "gpu0")
+        assert not buffer.host_is_current
+        buffer.host_data()
+        assert buffer.host_is_current
+        assert buffer.transfers_to_host == 1
+
+    def test_discard_write_skips_upload(self):
+        buffer = Buffer(np.zeros(1000))
+        accessor = buffer.get_access(AccessMode.DISCARD_WRITE, "gpu0")
+        assert accessor.transfer_bytes == 0
+        assert not buffer.host_is_current
+
+    def test_read_from_second_device_routes_through_host(self):
+        buffer = Buffer(np.zeros(1000))
+        buffer.get_access(AccessMode.READ_WRITE, "gpu0")
+        accessor = buffer.get_access(AccessMode.READ, "gpu1")
+        # write-back (8000) + upload (8000)
+        assert accessor.transfer_bytes == 16000
+        assert buffer.transfers_to_host == 1
+
+    def test_validation(self):
+        with pytest.raises(MemoryModelError):
+            Buffer(np.zeros(0))
+        buffer = Buffer(np.zeros(4))
+        with pytest.raises(MemoryModelError):
+            buffer.get_access("read", "gpu0")
+
+    def test_accessor_data_is_the_host_array(self):
+        host = np.arange(8.0)
+        buffer = Buffer(host)
+        accessor = buffer.get_access(AccessMode.READ_WRITE, "cpu")
+        accessor.data[0] = 42.0
+        assert host[0] == 42.0
+
+
+class TestQueueSubmission:
+    def _gpu_queue(self, transfer_bandwidth=10.0e9):
+        gpu = make_device(device_type=DeviceType.GPU, numa_domains=1,
+                          host_transfer_bandwidth=transfer_bandwidth)
+        return Queue(gpu)
+
+    def test_submit_charges_transfer_time(self):
+        queue = self._gpu_queue(transfer_bandwidth=10.0e9)
+        buffer = queue.create_buffer(np.zeros(1_000_000))
+        accessor = queue.access(buffer, AccessMode.READ)
+        record = queue.submit(1000, spec(), [accessor])
+        assert record.timing.transfer_seconds == pytest.approx(
+            8_000_000 / 10.0e9)
+        assert record.timing.total_seconds > record.timing.transfer_seconds
+
+    def test_warm_buffer_costs_nothing(self):
+        queue = self._gpu_queue()
+        buffer = queue.create_buffer(np.zeros(1_000_000))
+        queue.submit(1000, spec(), [queue.access(buffer, AccessMode.READ)])
+        record = queue.submit(1000, spec(),
+                              [queue.access(buffer, AccessMode.READ)])
+        assert record.timing.transfer_seconds == 0.0
+
+    def test_cpu_transfers_effectively_free(self):
+        queue = Queue(make_device())        # shared-DRAM default
+        buffer = queue.create_buffer(np.zeros(1_000_000))
+        record = queue.submit(1000, spec(),
+                              [queue.access(buffer, AccessMode.READ)])
+        assert record.timing.transfer_seconds < 1e-7
+
+    def test_kernel_body_runs(self):
+        queue = self._gpu_queue()
+        buffer = queue.create_buffer(np.zeros(10))
+        accessor = queue.access(buffer, AccessMode.READ_WRITE)
+
+        def kernel():
+            accessor.data[:] += 1.0
+
+        queue.submit(10, spec(), [accessor], kernel=kernel)
+        np.testing.assert_array_equal(buffer.host_data(), np.ones(10))
+
+    def test_host_read_keeps_device_copy_valid(self):
+        # A host *read* does not invalidate the device copy.
+        queue = self._gpu_queue()
+        buffer = queue.create_buffer(np.zeros(1000))
+        queue.submit(10, spec(), [queue.access(buffer,
+                                               AccessMode.READ_WRITE)])
+        buffer.host_data()
+        record = queue.submit(10, spec(),
+                              [queue.access(buffer, AccessMode.READ)])
+        assert record.timing.transfer_seconds == 0.0
+        assert buffer.transfers_to_device == 1
+
+    def test_ping_pong_accounting(self):
+        # host write -> device -> host write -> device: both uploads
+        # and the intermediate write-back are counted.
+        queue = self._gpu_queue()
+        buffer = queue.create_buffer(np.zeros(1000))
+        queue.submit(10, spec(), [queue.access(buffer,
+                                               AccessMode.READ_WRITE)])
+        buffer.host_data(write=True)[:] = 1.0
+        queue.submit(10, spec(), [queue.access(buffer,
+                                               AccessMode.READ_WRITE)])
+        assert buffer.transfers_to_device == 2
+        assert buffer.transfers_to_host == 1

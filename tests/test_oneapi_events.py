@@ -1,0 +1,109 @@
+"""Tests for SYCL-style events and queue ordering semantics."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.oneapi import (KernelSpec, MemoryStream, Queue, RuntimeConfig,
+                          SimEvent, StreamKind, Timeline)
+from tests.test_oneapi_device import make_device
+
+
+def spec(name="k"):
+    return KernelSpec(name=name, streams=(
+        MemoryStream(name="s", kind=StreamKind.READ, bytes_per_item=8),),
+        flops_per_item=10)
+
+
+class TestSimEvent:
+    def test_duration(self):
+        event = SimEvent("a", 1.0, 3.5)
+        assert event.duration == 2.5
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(DeviceError):
+            SimEvent("bad", 2.0, 1.0)
+
+
+class TestTimeline:
+    def test_in_order_serializes(self):
+        timeline = Timeline(in_order=True)
+        first = timeline.schedule("a", 1.0)
+        second = timeline.schedule("b", 2.0)
+        assert first.end == 1.0
+        assert second.start == 1.0
+        assert timeline.makespan == 3.0
+
+    def test_out_of_order_overlaps_independent_commands(self):
+        timeline = Timeline(in_order=False)
+        timeline.schedule("a", 1.0)
+        timeline.schedule("b", 2.0)
+        assert timeline.makespan == 2.0          # both start at t = 0
+
+    def test_dependencies_order_out_of_order_commands(self):
+        timeline = Timeline(in_order=False)
+        first = timeline.schedule("a", 1.0)
+        second = timeline.schedule("b", 2.0, depends_on=[first])
+        assert second.start == 1.0
+        assert timeline.makespan == 3.0
+
+    def test_diamond_dependency(self):
+        timeline = Timeline(in_order=False)
+        root = timeline.schedule("root", 1.0)
+        left = timeline.schedule("left", 2.0, depends_on=[root])
+        right = timeline.schedule("right", 3.0, depends_on=[root])
+        join = timeline.schedule("join", 1.0, depends_on=[left, right])
+        assert join.start == 4.0                 # after the longer arm
+        assert timeline.makespan == 5.0
+
+    def test_in_order_ignores_looser_dependencies(self):
+        timeline = Timeline(in_order=True)
+        first = timeline.schedule("a", 5.0)
+        second = timeline.schedule("b", 1.0, depends_on=[])
+        assert second.start == first.end
+
+    def test_reset(self):
+        timeline = Timeline()
+        timeline.schedule("a", 1.0)
+        timeline.reset()
+        assert timeline.makespan == 0.0
+        assert timeline.events == []
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(DeviceError):
+            Timeline().schedule("a", -1.0)
+
+
+class TestQueueOrdering:
+    def test_records_carry_events(self):
+        queue = Queue(make_device())
+        record = queue.parallel_for(1000, spec())
+        assert record.event is not None
+        assert record.event.duration == pytest.approx(
+            record.simulated_seconds)
+
+    def test_default_queue_is_in_order(self):
+        queue = Queue(make_device())
+        a = queue.parallel_for(1000, spec(name="a"))
+        b = queue.parallel_for(1000, spec(name="b"))
+        assert b.event.start == pytest.approx(a.event.end)
+
+    def test_out_of_order_queue_overlaps(self):
+        queue = Queue(make_device(), RuntimeConfig(in_order=False))
+        a = queue.parallel_for(1000, spec(name="a"))
+        b = queue.parallel_for(1000, spec(name="b"))
+        assert b.event.start == 0.0
+        assert queue.timeline.makespan < \
+            a.simulated_seconds + b.simulated_seconds
+
+    def test_depends_on_orders_out_of_order_launches(self):
+        queue = Queue(make_device(), RuntimeConfig(in_order=False))
+        a = queue.parallel_for(1000, spec(name="a"))
+        b = queue.parallel_for(1000, spec(name="b"),
+                               depends_on=[a.event])
+        assert b.event.start == pytest.approx(a.event.end)
+
+    def test_reset_records_clears_timeline(self):
+        queue = Queue(make_device())
+        queue.parallel_for(1000, spec())
+        queue.reset_records()
+        assert queue.timeline.makespan == 0.0

@@ -1,0 +1,140 @@
+"""Tests for spec builders and the PushRunner physics/timing bridge."""
+
+import numpy as np
+import pytest
+
+from repro.core import advance
+from repro.errors import ConfigurationError
+from repro.fields import MDipoleWave
+from repro.fp import Precision
+from repro.oneapi import (Queue, RuntimeConfig, UsmMemoryManager,
+                          build_push_spec, build_virtual_push_spec,
+                          PushRunner, PUSH_FLOPS)
+from repro.oneapi.kernelspec import StreamKind
+from repro.particles import Layout
+from repro.particles.initializers import paper_benchmark_ensemble
+from tests.test_oneapi_device import make_device
+
+
+class TestVirtualSpecs:
+    def test_aos_single_stream(self):
+        manager = UsmMemoryManager()
+        spec = build_virtual_push_spec(1000, Layout.AOS, Precision.SINGLE,
+                                       "analytical", manager,
+                                       field_flops=100)
+        assert len(spec.streams) == 1
+        stream = spec.streams[0]
+        assert stream.span_bytes_per_item == 36
+        assert stream.bytes_per_item == 34
+        assert not stream.contiguous
+        assert spec.flops_per_item == PUSH_FLOPS + 100
+
+    def test_soa_stream_set(self):
+        manager = UsmMemoryManager()
+        spec = build_virtual_push_spec(1000, Layout.SOA, Precision.DOUBLE,
+                                       "analytical", manager)
+        names = [s.name for s in spec.streams]
+        assert "soa-x" in names and "soa-gamma" in names \
+            and "soa-type" in names
+        assert len(spec.streams) == 8
+        assert all(s.contiguous for s in spec.streams)
+
+    def test_precalculated_adds_field_streams(self):
+        manager = UsmMemoryManager()
+        analytical = build_virtual_push_spec(
+            1000, Layout.SOA, Precision.SINGLE, "analytical", manager)
+        precalc = build_virtual_push_spec(
+            1000, Layout.SOA, Precision.SINGLE, "precalculated", manager)
+        field_streams = [s for s in precalc.streams
+                         if s.name.startswith("fields")]
+        assert len(field_streams) == 6
+        assert all(s.kind is StreamKind.READ for s in field_streams)
+        assert precalc.flops_per_item < analytical.flops_per_item \
+            or precalc.flops_per_item == PUSH_FLOPS
+
+    def test_aos_field_stream_interleaved(self):
+        manager = UsmMemoryManager()
+        spec = build_virtual_push_spec(
+            1000, Layout.AOS, Precision.SINGLE, "precalculated", manager)
+        fields = [s for s in spec.streams if s.name == "fields-aos"]
+        assert len(fields) == 1
+        assert fields[0].bytes_per_item == 24
+        assert not fields[0].contiguous
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_virtual_push_spec(10, Layout.SOA, Precision.SINGLE,
+                                    "cached", UsmMemoryManager())
+
+    def test_spec_name_identifies_configuration(self):
+        manager = UsmMemoryManager()
+        spec = build_virtual_push_spec(10, Layout.AOS, Precision.DOUBLE,
+                                       "analytical", manager)
+        assert spec.name == "boris-analytical-AoS-double"
+
+
+class TestBoundSpecs:
+    def test_streams_reference_live_allocations(self, layout):
+        ensemble = paper_benchmark_ensemble(100, layout=layout)
+        manager = UsmMemoryManager()
+        spec = build_push_spec(ensemble, "analytical", manager,
+                               field_flops=50)
+        for stream in spec.streams:
+            assert stream.allocation is not None
+            assert stream.allocation.nbytes > 0
+
+    def test_precalculated_requires_array(self):
+        ensemble = paper_benchmark_ensemble(10)
+        with pytest.raises(ConfigurationError):
+            build_push_spec(ensemble, "precalculated", UsmMemoryManager())
+
+    def test_precalc_layout_mismatch_rejected(self):
+        from repro.fields import PrecalculatedField
+        ensemble = paper_benchmark_ensemble(10, layout=Layout.SOA)
+        wrong = PrecalculatedField(10, ensemble.precision, Layout.AOS)
+        with pytest.raises(ConfigurationError):
+            build_push_spec(ensemble, "precalculated", UsmMemoryManager(),
+                            precalc=wrong)
+
+
+class TestPushRunner:
+    def _queue(self):
+        return Queue(make_device(), RuntimeConfig())
+
+    @pytest.mark.parametrize("scenario", ["precalculated", "analytical"])
+    def test_physics_matches_plain_advance(self, scenario):
+        wave = MDipoleWave()
+        period_fraction = 2.0 * np.pi / wave.omega / 100.0
+        runner_ensemble = paper_benchmark_ensemble(64, seed=5)
+        reference = runner_ensemble.copy()
+
+        runner = PushRunner(self._queue(), runner_ensemble, scenario,
+                            wave, period_fraction)
+        runner.run(5)
+        advance(reference, wave, period_fraction, 5)
+
+        np.testing.assert_allclose(runner_ensemble.positions(),
+                                   reference.positions(), rtol=1e-12)
+
+    def test_records_one_launch_per_step(self):
+        wave = MDipoleWave()
+        ensemble = paper_benchmark_ensemble(32)
+        runner = PushRunner(self._queue(), ensemble, "analytical", wave,
+                            1e-16)
+        records = runner.run(4)
+        assert len(records) == 4
+        assert records[0].timing.jit_seconds > 0.0
+        assert records[1].timing.jit_seconds == 0.0
+
+    def test_time_advances(self):
+        wave = MDipoleWave()
+        ensemble = paper_benchmark_ensemble(16)
+        runner = PushRunner(self._queue(), ensemble, "analytical", wave,
+                            2e-16)
+        runner.run(3)
+        assert runner.time == pytest.approx(6e-16)
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(ConfigurationError):
+            PushRunner(self._queue(), paper_benchmark_ensemble(8),
+                       "magic", MDipoleWave(), 1e-16)

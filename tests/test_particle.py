@@ -1,0 +1,74 @@
+"""Tests for the single-particle value object."""
+
+import math
+
+import pytest
+
+from repro.constants import ELECTRON_MASS, SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.fp import FP3
+from repro.particles import Particle
+
+
+class TestConstruction:
+    def test_defaults(self):
+        p = Particle()
+        assert p.weight == 1.0
+        assert p.gamma == 1.0
+        assert p.type_id == 0
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ConfigurationError):
+            Particle(weight=-1.0)
+
+    def test_rejects_subluminal_gamma(self):
+        with pytest.raises(ConfigurationError):
+            Particle(gamma=0.9)
+
+
+class TestPhysics:
+    def test_mass_and_charge_via_table(self, type_table):
+        p = Particle(type_id=0)
+        assert p.mass(type_table) == pytest.approx(ELECTRON_MASS)
+        assert p.charge(type_table) < 0.0
+
+    def test_update_gamma(self, type_table):
+        mc = ELECTRON_MASS * SPEED_OF_LIGHT
+        p = Particle(momentum=FP3(mc, 0.0, 0.0))
+        p.update_gamma(type_table)
+        assert p.gamma == pytest.approx(math.sqrt(2.0))
+
+    def test_set_momentum_refreshes_gamma(self, type_table):
+        mc = ELECTRON_MASS * SPEED_OF_LIGHT
+        p = Particle()
+        p.set_momentum(FP3(0.0, 2.0 * mc, 0.0), type_table)
+        assert p.gamma == pytest.approx(math.sqrt(5.0))
+
+    def test_velocity_is_subluminal(self, type_table):
+        mc = ELECTRON_MASS * SPEED_OF_LIGHT
+        p = Particle()
+        p.set_momentum(FP3(100.0 * mc, 0.0, 0.0), type_table)
+        assert p.velocity(type_table).norm() < SPEED_OF_LIGHT
+
+    def test_velocity_nonrelativistic_limit(self, type_table):
+        v = 1.0e6      # 0.003% of c
+        p = Particle()
+        p.set_momentum(FP3(ELECTRON_MASS * v, 0.0, 0.0), type_table)
+        assert p.velocity(type_table).x == pytest.approx(v, rel=1e-8)
+
+    def test_kinetic_energy_rest(self, type_table):
+        assert Particle().kinetic_energy(type_table) == 0.0
+
+    def test_kinetic_energy_ultrarelativistic(self, type_table):
+        mc = ELECTRON_MASS * SPEED_OF_LIGHT
+        p = Particle()
+        p.set_momentum(FP3(1000.0 * mc, 0.0, 0.0), type_table)
+        # E_k ~ p c for gamma >> 1.
+        assert p.kinetic_energy(type_table) == pytest.approx(
+            1000.0 * mc * SPEED_OF_LIGHT, rel=1e-3)
+
+    def test_copy_is_deep(self):
+        p = Particle(position=FP3(1.0, 2.0, 3.0))
+        q = p.copy()
+        q.position.x = 9.0
+        assert p.position.x == 1.0

@@ -1,0 +1,88 @@
+"""Tests for per-particle precalculated field storage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, LayoutError
+from repro.fields import MDipoleWave, PrecalculatedField, UniformField
+from repro.fp import Precision
+from repro.particles import Layout, make_ensemble
+
+
+class TestConstruction:
+    def test_layouts(self, layout, precision):
+        field = PrecalculatedField(10, precision, layout)
+        assert field.layout is layout
+        assert field.precision is precision
+        assert field.size == 10
+
+    def test_bytes_per_particle(self, precision):
+        field = PrecalculatedField(10, precision, Layout.SOA)
+        assert field.bytes_per_particle == 6 * precision.itemsize
+        assert field.nbytes == 10 * 6 * precision.itemsize
+
+    def test_aos_records_interleaved(self):
+        field = PrecalculatedField(4, Precision.DOUBLE, Layout.AOS)
+        ex = field.component("ex")
+        assert ex.strides[0] == 48          # 6 doubles per record
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PrecalculatedField(-1)
+
+    def test_unknown_component_rejected(self):
+        field = PrecalculatedField(3)
+        with pytest.raises(LayoutError):
+            field.component("jx")
+
+
+class TestRefresh:
+    def test_matches_direct_evaluation(self, layout):
+        wave = MDipoleWave()
+        ensemble = make_ensemble(20, layout, Precision.DOUBLE)
+        rng = np.random.default_rng(0)
+        ensemble.set_positions(rng.uniform(-1e-4, 1e-4, (20, 3)))
+        t = 0.3e-15
+        field = PrecalculatedField.from_source(wave, ensemble, t)
+        direct = wave.evaluate(ensemble.component("x"),
+                               ensemble.component("y"),
+                               ensemble.component("z"), t)
+        np.testing.assert_allclose(field.component("bx"), direct.bx)
+        np.testing.assert_allclose(field.component("ey"), direct.ey)
+
+    def test_from_source_matches_ensemble_layout(self, layout):
+        ensemble = make_ensemble(5, layout)
+        field = PrecalculatedField.from_source(UniformField(), ensemble)
+        assert field.layout is layout
+        assert field.precision is ensemble.precision
+
+    def test_layout_override(self):
+        ensemble = make_ensemble(5, Layout.SOA)
+        field = PrecalculatedField.from_source(UniformField(), ensemble,
+                                               layout=Layout.AOS)
+        assert field.layout is Layout.AOS
+
+    def test_size_mismatch_rejected(self):
+        ensemble = make_ensemble(5, Layout.SOA)
+        field = PrecalculatedField(4)
+        with pytest.raises(LayoutError):
+            field.refresh(UniformField(), ensemble, 0.0)
+
+    def test_values_are_views(self):
+        ensemble = make_ensemble(3, Layout.SOA)
+        field = PrecalculatedField.from_source(
+            UniformField(e=(7, 0, 0)), ensemble)
+        values = field.values()
+        assert np.all(values.ex == 7.0)
+        values.ex[0] = 9.0
+        assert field.component("ex")[0] == 9.0
+
+    def test_refresh_tracks_moving_particles(self):
+        wave = MDipoleWave()
+        ensemble = make_ensemble(4, Layout.SOA)
+        ensemble.set_positions(np.full((4, 3), 1e-5))
+        field = PrecalculatedField.from_source(wave, ensemble, 0.1e-15)
+        first = field.component("ex").copy()
+        ensemble.set_positions(np.full((4, 3), 3e-5))
+        field.refresh(wave, ensemble, 0.1e-15)
+        assert not np.allclose(field.component("ex"), first)

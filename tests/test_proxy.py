@@ -1,0 +1,93 @@
+"""Tests for ParticleProxy: reference semantics over both layouts."""
+
+import math
+
+import pytest
+
+from repro.constants import ELECTRON_MASS, SPEED_OF_LIGHT
+from repro.errors import LayoutError
+from repro.fp import FP3
+from repro.particles import Particle, ParticleProxy, make_ensemble
+
+
+class TestReferenceSemantics:
+    def test_reads_through(self, small_ensemble):
+        small_ensemble.component("px")[2] = 7.0
+        assert small_ensemble[2].momentum.x == 7.0
+
+    def test_writes_through_vectors(self, small_ensemble):
+        proxy = small_ensemble[1]
+        proxy.position = FP3(1.0, 2.0, 3.0)
+        assert small_ensemble.component("y")[1] == 2.0
+
+    def test_writes_through_scalars(self, small_ensemble):
+        proxy = small_ensemble[0]
+        proxy.weight = 5.0
+        proxy.gamma = 2.0
+        proxy.type_id = 2
+        assert small_ensemble.component("weight")[0] == 5.0
+        assert small_ensemble.component("gamma")[0] == 2.0
+        assert small_ensemble.type_ids[0] == 2
+
+    def test_vector_getter_returns_copy(self, small_ensemble):
+        proxy = small_ensemble[0]
+        vec = proxy.position
+        vec.x = 123.0
+        assert proxy.position.x != 123.0 or \
+            small_ensemble.component("x")[0] == proxy.position.x
+
+    def test_out_of_range_rejected(self, small_ensemble):
+        with pytest.raises(LayoutError):
+            ParticleProxy(small_ensemble, 64)
+        with pytest.raises(LayoutError):
+            ParticleProxy(small_ensemble, -1)
+
+
+class TestParticleApi:
+    def test_mass_charge(self, small_ensemble):
+        proxy = small_ensemble[0]
+        assert proxy.mass == pytest.approx(ELECTRON_MASS)
+        assert proxy.charge < 0.0
+
+    def test_update_gamma(self, layout, type_table):
+        ensemble = make_ensemble(1, layout, type_table=type_table)
+        proxy = ensemble[0]
+        mc = ELECTRON_MASS * SPEED_OF_LIGHT
+        proxy.momentum = FP3(mc, 0.0, 0.0)
+        proxy.update_gamma()
+        assert proxy.gamma == pytest.approx(math.sqrt(2.0))
+
+    def test_velocity_matches_ensemble(self, small_ensemble):
+        proxy = small_ensemble[5]
+        vel = small_ensemble.velocities()[5]
+        assert proxy.velocity().x == pytest.approx(vel[0])
+
+    def test_kinetic_energy(self, small_ensemble):
+        proxy = small_ensemble[0]
+        expected = (proxy.gamma - 1.0) * ELECTRON_MASS * SPEED_OF_LIGHT ** 2
+        assert proxy.kinetic_energy() == pytest.approx(expected)
+
+
+class TestConversion:
+    def test_to_particle_materialises(self, small_ensemble):
+        particle = small_ensemble[4].to_particle()
+        assert isinstance(particle, Particle)
+        assert particle.position.x == small_ensemble.component("x")[4]
+
+    def test_to_particle_is_independent(self, small_ensemble):
+        particle = small_ensemble[4].to_particle()
+        particle.position.x = 1.0e9
+        assert small_ensemble.component("x")[4] != 1.0e9
+
+    def test_assign_copies_all_fields(self, small_ensemble):
+        source = Particle(FP3(1, 2, 3), FP3(4, 5, 6), 2.5, 3.0, 1)
+        small_ensemble[7].assign(source)
+        proxy = small_ensemble[7]
+        assert proxy.position == FP3(1, 2, 3)
+        assert proxy.momentum == FP3(4, 5, 6)
+        assert proxy.weight == 2.5
+        assert proxy.gamma == 3.0
+        assert proxy.type_id == 1
+
+    def test_repr_mentions_index(self, small_ensemble):
+        assert "index=3" in repr(small_ensemble[3])

@@ -1,0 +1,222 @@
+"""Tests for alternative pushers (Vay, Higuera-Cary, non-relativistic)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constants import (ELECTRON_MASS, ELEMENTARY_CHARGE,
+                             SPEED_OF_LIGHT, cyclotron_frequency)
+from repro.core import (HigueraCaryPusher, MomentumPusher, BorisPusher,
+                        NonRelativisticBorisPusher, VayPusher, advance,
+                        available_pushers, get_pusher,
+                        integrate_trajectory_rk4, setup_leapfrog)
+from repro.errors import ConfigurationError
+from repro.fields import CrossedField, UniformField
+from repro.particles import Layout, ParticleEnsemble
+
+MC = ELECTRON_MASS * SPEED_OF_LIGHT
+
+
+class TestRegistry:
+    def test_all_names(self):
+        assert available_pushers() == ["boris", "boris-ll", "boris-nonrel",
+                                       "higuera-cary", "vay"]
+
+    def test_register_rejects_duplicates_and_anonymous(self):
+        from repro.core import MomentumPusher, register_pusher
+
+        class Nameless(MomentumPusher):
+            name = ""
+
+            def push(self, ensemble, fields, dt):
+                pass
+
+        with pytest.raises(ConfigurationError):
+            register_pusher(Nameless)
+
+        class Duplicate(Nameless):
+            name = "boris"
+
+        with pytest.raises(ConfigurationError):
+            register_pusher(Duplicate)
+
+    def test_get_pusher_types(self):
+        assert isinstance(get_pusher("vay"), VayPusher)
+        assert isinstance(get_pusher("higuera-cary"), HigueraCaryPusher)
+        assert isinstance(get_pusher("boris-nonrel"),
+                          NonRelativisticBorisPusher)
+
+    def test_boris_is_virtual_subclass(self):
+        assert isinstance(get_pusher("boris"), MomentumPusher)
+        assert isinstance(BorisPusher(), MomentumPusher)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_pusher("rk4")
+
+
+def _gyration_setup(u=1.5):
+    b0 = 1.0e4
+    gamma = math.sqrt(1.0 + u * u)
+    p0 = u * MC
+    radius = p0 / (ELEMENTARY_CHARGE * b0 / SPEED_OF_LIGHT)
+    omega = cyclotron_frequency(b0, gamma)
+    field = UniformField(b=(0.0, 0.0, b0))
+    return field, p0, radius, omega, gamma
+
+
+class TestAgainstRk4:
+    @pytest.mark.parametrize("name", ["boris", "vay", "higuera-cary"])
+    def test_gyration_matches_rk4(self, name):
+        field, p0, radius, omega, _ = _gyration_setup()
+        dt = 2.0 * math.pi / omega / 200.0
+        steps = 200
+
+        _, rk4_pos, _ = integrate_trajectory_rk4(
+            [0.0, -radius, 0.0], [p0, 0.0, 0.0], ELECTRON_MASS,
+            -ELEMENTARY_CHARGE, field, dt, steps)
+
+        ensemble = ParticleEnsemble.from_arrays(
+            [[0.0, -radius, 0.0]], [[p0, 0.0, 0.0]])
+        setup_leapfrog(ensemble, field, dt)
+        advance(ensemble, field, dt, steps, pusher=get_pusher(name))
+        error = np.linalg.norm(ensemble.positions()[0] - rk4_pos[-1])
+        assert error / radius < 5e-3
+
+    @pytest.mark.parametrize("name", ["boris", "vay", "higuera-cary"])
+    def test_linear_acceleration_matches_rk4(self, name):
+        field = UniformField(e=(2.0e7, 0.0, 0.0))
+        dt = 1e-16
+        steps = 100
+        _, rk4_pos, rk4_mom = integrate_trajectory_rk4(
+            [0.0, 0.0, 0.0], [0.0, 0.0, 0.0], ELECTRON_MASS,
+            -ELEMENTARY_CHARGE, field, dt, steps)
+        ensemble = ParticleEnsemble.from_arrays([[0, 0, 0]], [[0, 0, 0]])
+        setup_leapfrog(ensemble, field, dt)
+        advance(ensemble, field, dt, steps, pusher=get_pusher(name))
+        # Momentum is at step + 1/2; compare against analytic q E t.
+        expected_p = -ELEMENTARY_CHARGE * 2.0e7 * (steps - 0.5) * dt
+        assert ensemble.momenta()[0, 0] == pytest.approx(expected_p,
+                                                         rel=1e-9)
+        # Positions agree only to the schemes' discretisation order.
+        assert ensemble.positions()[0, 0] == pytest.approx(rk4_pos[-1, 0],
+                                                           rel=1e-4)
+
+
+class TestExbDrift:
+    def _drift_momentum(self, field):
+        vd = field.drift_velocity[1]
+        ud = vd / math.sqrt(1.0 - (vd / SPEED_OF_LIGHT) ** 2)
+        return ud * ELECTRON_MASS, vd
+
+    @pytest.mark.parametrize("name", ["vay", "higuera-cary"])
+    def test_exact_drift_preserved(self, name):
+        field = CrossedField(e=5.0e3, b=1.0e4)
+        p_drift, vd = self._drift_momentum(field)
+        ensemble = ParticleEnsemble.from_arrays(
+            [[0, 0, 0]], [[0.0, p_drift, 0.0]])
+        pusher = get_pusher(name)
+        dt = 1e-13
+        for _ in range(100):
+            fields = field.evaluate(ensemble.component("x"),
+                                    ensemble.component("y"),
+                                    ensemble.component("z"), 0.0)
+            pusher.push(ensemble, fields, dt)
+        v = ensemble.velocities()[0]
+        assert v[1] == pytest.approx(vd, rel=1e-12)
+        assert abs(v[0]) < 1e-6 * abs(vd)
+
+    def test_boris_shows_ripple(self):
+        # The known Boris artefact Vay (2008) fixes: a drifting
+        # particle acquires a small velocity ripple.
+        field = CrossedField(e=5.0e3, b=1.0e4)
+        p_drift, vd = self._drift_momentum(field)
+        ensemble = ParticleEnsemble.from_arrays(
+            [[0, 0, 0]], [[0.0, p_drift, 0.0]])
+        pusher = get_pusher("boris")
+        dt = 1e-13
+        ripple = 0.0
+        for _ in range(100):
+            fields = field.evaluate(ensemble.component("x"),
+                                    ensemble.component("y"),
+                                    ensemble.component("z"), 0.0)
+            pusher.push(ensemble, fields, dt)
+            ripple = max(ripple,
+                         abs(ensemble.velocities()[0, 1] - vd) / abs(vd))
+        assert ripple > 1e-9
+
+
+class TestNormPreservation:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=-3, max_value=3),
+           st.floats(min_value=-3, max_value=3),
+           st.floats(min_value=-3, max_value=3),
+           st.floats(min_value=-1e5, max_value=1e5),
+           st.floats(min_value=-1e5, max_value=1e5),
+           st.floats(min_value=-1e5, max_value=1e5))
+    @pytest.mark.parametrize("name", ["boris", "vay", "higuera-cary"])
+    def test_pure_magnetic_preserves_gamma(self, name, ux, uy, uz,
+                                           bx, by, bz):
+        ensemble = ParticleEnsemble.from_arrays(
+            [[0.0, 0.0, 0.0]], [[ux * MC, uy * MC, uz * MC]])
+        gamma0 = float(ensemble.component("gamma")[0])
+        fields = UniformField(b=(bx, by, bz)).evaluate(
+            ensemble.component("x"), ensemble.component("y"),
+            ensemble.component("z"), 0.0)
+        get_pusher(name).push(ensemble, fields, 1e-14)
+        assert ensemble.component("gamma")[0] == pytest.approx(gamma0,
+                                                               rel=1e-12)
+
+
+class TestNonRelativisticLimit:
+    def test_agrees_with_boris_at_low_speed(self):
+        v = 1.0e7        # v/c ~ 3e-4
+        field = UniformField(b=(0.0, 0.0, 1.0e3))
+        slow = ParticleEnsemble.from_arrays(
+            [[0, 0, 0]], [[ELECTRON_MASS * v, 0, 0]])
+        reference = slow.copy()
+        dt = 1e-12
+        for ens, name in ((slow, "boris-nonrel"), (reference, "boris")):
+            pusher = get_pusher(name)
+            for _ in range(50):
+                fields = field.evaluate(ens.component("x"),
+                                        ens.component("y"),
+                                        ens.component("z"), 0.0)
+                pusher.push(ens, fields, dt)
+        np.testing.assert_allclose(slow.positions(), reference.positions(),
+                                   rtol=1e-6)
+
+    def test_diverges_from_boris_when_relativistic(self):
+        field = UniformField(b=(0.0, 0.0, 1.0e4))
+        fast = ParticleEnsemble.from_arrays([[0, 0, 0]], [[2.0 * MC, 0, 0]])
+        reference = fast.copy()
+        dt = 1e-13
+        for ens, name in ((fast, "boris-nonrel"), (reference, "boris")):
+            pusher = get_pusher(name)
+            for _ in range(100):
+                fields = field.evaluate(ens.component("x"),
+                                        ens.component("y"),
+                                        ens.component("z"), 0.0)
+                pusher.push(ens, fields, dt)
+        assert not np.allclose(fast.positions(), reference.positions(),
+                               rtol=1e-3)
+
+
+class TestLayoutsAndPrecision:
+    @pytest.mark.parametrize("name", ["vay", "higuera-cary", "boris-nonrel"])
+    def test_layout_independent(self, name, rng):
+        positions = rng.uniform(-1, 1, (8, 3))
+        momenta = rng.normal(0, 0.4 * MC, (8, 3))
+        field = UniformField(e=(1e5, 0, 1e5), b=(0, 2e5, 0))
+        results = []
+        for layout in (Layout.AOS, Layout.SOA):
+            ensemble = ParticleEnsemble.from_arrays(positions, momenta,
+                                                    layout=layout)
+            fields = field.evaluate(ensemble.component("x"),
+                                    ensemble.component("y"),
+                                    ensemble.component("z"), 0.0)
+            get_pusher(name).push(ensemble, fields, 1e-16)
+            results.append(ensemble.momenta())
+        np.testing.assert_array_equal(results[0], results[1])

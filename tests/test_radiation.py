@@ -1,0 +1,152 @@
+"""Tests for the Landau-Lifshitz radiation-reaction extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import (ELECTRON_MASS, ELEMENTARY_CHARGE,
+                             SPEED_OF_LIGHT, cyclotron_frequency)
+from repro.core import (RadiationReactionPusher, SCHWINGER_FIELD,
+                        gaunt_factor, get_pusher, quantum_chi,
+                        radiated_power)
+from repro.fields import NullField, UniformField
+from repro.particles import ParticleEnsemble
+
+MC = ELECTRON_MASS * SPEED_OF_LIGHT
+
+
+def gyrating_electron(u=10.0, b0=1.0e8):
+    """A strongly relativistic electron in a strong uniform B."""
+    p0 = u * MC
+    radius = p0 / (ELEMENTARY_CHARGE * b0 / SPEED_OF_LIGHT)
+    ensemble = ParticleEnsemble.from_arrays(
+        [[0.0, -radius, 0.0]], [[p0, 0.0, 0.0]])
+    return ensemble, UniformField(b=(0.0, 0.0, b0)), b0
+
+
+class TestDiagnostics:
+    def test_schwinger_field_value(self):
+        # E_S = m^2 c^3 / (e hbar) ~ 4.41e13 statvolt/cm.
+        assert SCHWINGER_FIELD == pytest.approx(4.41e13, rel=0.01)
+
+    def test_power_zero_without_fields(self):
+        ensemble = ParticleEnsemble.from_arrays([[0, 0, 0]], [[MC, 0, 0]])
+        fields = NullField().evaluate(np.zeros(1), np.zeros(1),
+                                      np.zeros(1), 0.0)
+        assert radiated_power(ensemble, fields)[0] == 0.0
+
+    def test_synchrotron_power_formula(self):
+        # Perpendicular B: P = (2/3) e^4 B^2 gamma^2 beta^2 / (m^2 c^3).
+        ensemble, field, b0 = gyrating_electron()
+        fields = field.evaluate(ensemble.component("x"),
+                                ensemble.component("y"),
+                                ensemble.component("z"), 0.0)
+        gamma = float(ensemble.component("gamma")[0])
+        beta2 = 1.0 - 1.0 / gamma ** 2
+        expected = (2.0 * ELEMENTARY_CHARGE ** 4 * b0 ** 2 * gamma ** 2
+                    * beta2 / (3.0 * ELECTRON_MASS ** 2
+                               * SPEED_OF_LIGHT ** 3))
+        assert radiated_power(ensemble, fields)[0] == pytest.approx(
+            expected, rel=1e-9)
+
+    def test_no_radiation_for_motion_along_b(self):
+        # beta parallel to B: E + beta x B = 0 (with E = 0).
+        ensemble = ParticleEnsemble.from_arrays([[0, 0, 0]],
+                                                [[0.0, 0.0, 5.0 * MC]])
+        field = UniformField(b=(0.0, 0.0, 1.0e8))
+        fields = field.evaluate(np.zeros(1), np.zeros(1), np.zeros(1), 0.0)
+        assert radiated_power(ensemble, fields)[0] == pytest.approx(
+            0.0, abs=1e-30)
+
+    def test_chi_formula(self):
+        ensemble, field, b0 = gyrating_electron(u=10.0)
+        fields = field.evaluate(ensemble.component("x"),
+                                ensemble.component("y"),
+                                ensemble.component("z"), 0.0)
+        gamma = float(ensemble.component("gamma")[0])
+        beta = math.sqrt(1.0 - 1.0 / gamma ** 2)
+        expected = gamma * beta * b0 / SCHWINGER_FIELD
+        assert quantum_chi(ensemble, fields)[0] == pytest.approx(
+            expected, rel=1e-9)
+
+    def test_gaunt_factor_limits(self):
+        assert gaunt_factor(np.array([0.0]))[0] == pytest.approx(1.0)
+        values = gaunt_factor(np.array([0.01, 0.1, 1.0, 10.0]))
+        assert np.all(np.diff(values) < 0.0)       # decreasing
+        assert values[-1] < 0.1                    # strong suppression
+
+
+class TestRadiationReactionPusher:
+    def test_registered(self):
+        assert isinstance(get_pusher("boris-ll"), RadiationReactionPusher)
+
+    def test_energy_decays_at_synchrotron_rate(self):
+        # dgamma/dt = -k (gamma^2 - 1), k = 2 e^4 B^2 / (3 m^3 c^5).
+        ensemble, field, b0 = gyrating_electron(u=10.0, b0=1.0e8)
+        gamma0 = float(ensemble.component("gamma")[0])
+        k = (2.0 * ELEMENTARY_CHARGE ** 4 * b0 ** 2
+             / (3.0 * ELECTRON_MASS ** 3 * SPEED_OF_LIGHT ** 5))
+        omega = cyclotron_frequency(b0, gamma0)
+        dt = 2.0 * math.pi / omega / 200.0
+        steps = 2000
+        pusher = RadiationReactionPusher()
+        for _ in range(steps):
+            fields = field.evaluate(ensemble.component("x"),
+                                    ensemble.component("y"),
+                                    ensemble.component("z"), 0.0)
+            pusher.push(ensemble, fields, dt)
+        # Analytic solution of the decay ODE:
+        # artanh(1/gamma(t))... integrate numerically for robustness.
+        gamma = gamma0
+        for _ in range(steps):
+            gamma -= k * (gamma ** 2 - 1.0) * dt
+        measured = float(ensemble.component("gamma")[0])
+        assert measured < gamma0                 # it does radiate
+        assert measured == pytest.approx(gamma, rel=0.02)
+
+    def test_friction_preserves_direction(self):
+        ensemble, field, _ = gyrating_electron()
+        before = ensemble.momenta()[0].copy()
+        fields = field.evaluate(ensemble.component("x"),
+                                ensemble.component("y"),
+                                ensemble.component("z"), 0.0)
+        RadiationReactionPusher()._apply_friction(ensemble, fields, 1e-18)
+        after = ensemble.momenta()[0]
+        cosine = float(before @ after
+                       / (np.linalg.norm(before) * np.linalg.norm(after)))
+        assert cosine == pytest.approx(1.0, abs=1e-12)
+        assert np.linalg.norm(after) < np.linalg.norm(before)
+
+    def test_quantum_correction_radiates_less(self):
+        classical, field, _ = gyrating_electron(u=1000.0, b0=1.0e10)
+        quantum = classical.copy()
+        dt = 1.0e-17
+        fields = field.evaluate(classical.component("x"),
+                                classical.component("y"),
+                                classical.component("z"), 0.0)
+        RadiationReactionPusher().push(classical, fields, dt)
+        RadiationReactionPusher(quantum_corrected=True).push(
+            quantum, fields, dt)
+        assert quantum.component("gamma")[0] > classical.component("gamma")[0]
+
+    def test_matches_boris_when_fields_weak(self):
+        from repro.core import BorisPusher
+        weak_field = UniformField(b=(0.0, 0.0, 1.0e3))
+        a = ParticleEnsemble.from_arrays([[0, 0, 0]], [[0.5 * MC, 0, 0]])
+        b = a.copy()
+        fields = weak_field.evaluate(np.zeros(1), np.zeros(1),
+                                     np.zeros(1), 0.0)
+        RadiationReactionPusher().push(a, fields, 1e-15)
+        BorisPusher().push(b, fields, 1e-15)
+        np.testing.assert_allclose(a.momenta(), b.momenta(), rtol=1e-10)
+
+    def test_friction_clamped_at_zero(self):
+        # Pathologically large dt: momentum must not flip sign.
+        ensemble, field, _ = gyrating_electron(u=1000.0, b0=1.0e12)
+        fields = field.evaluate(ensemble.component("x"),
+                                ensemble.component("y"),
+                                ensemble.component("z"), 0.0)
+        RadiationReactionPusher()._apply_friction(ensemble, fields, 1.0)
+        assert np.linalg.norm(ensemble.momenta()[0]) == 0.0
+        assert ensemble.component("gamma")[0] == pytest.approx(1.0)

@@ -1,0 +1,125 @@
+"""Tests for cache-locality particle sorting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.particles import (cell_indices, make_ensemble, morton_codes,
+                             sort_by_cell, sort_by_morton, Layout)
+
+
+GRID = dict(origin=(0.0, 0.0, 0.0), spacing=(1.0, 1.0, 1.0), dims=(4, 4, 4))
+
+
+class TestCellIndices:
+    def test_known_cells(self):
+        positions = np.array([[0.5, 0.5, 0.5],    # cell (0,0,0)
+                              [3.5, 0.5, 0.5],    # cell (3,0,0)
+                              [0.5, 0.5, 3.5]])   # cell (0,0,3)
+        indices = cell_indices(positions, **GRID)
+        assert list(indices) == [0, 48, 3]
+
+    def test_row_major_ordering(self):
+        positions = np.array([[0.5, 0.5, 1.5], [0.5, 1.5, 0.5]])
+        indices = cell_indices(positions, **GRID)
+        assert indices[0] == 1      # z fastest
+        assert indices[1] == 4      # then y
+
+    def test_out_of_box_clamped(self):
+        positions = np.array([[-1.0, 0.5, 0.5], [9.0, 0.5, 0.5]])
+        indices = cell_indices(positions, **GRID)
+        assert indices[0] == 0
+        assert indices[1] == 48
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cell_indices(np.zeros((2, 2)), **GRID)
+        with pytest.raises(ConfigurationError):
+            cell_indices(np.zeros((2, 3)), (0, 0, 0), (0.0, 1, 1), (4, 4, 4))
+        with pytest.raises(ConfigurationError):
+            cell_indices(np.zeros((2, 3)), (0, 0, 0), (1, 1, 1), (0, 4, 4))
+
+
+class TestMortonCodes:
+    def test_origin_is_zero(self):
+        code = morton_codes(np.array([[0.1, 0.1, 0.1]]), **GRID)
+        assert code[0] == 0
+
+    def test_unit_steps(self):
+        # z bit is the lowest, then y, then x.
+        positions = np.array([[0.5, 0.5, 1.5],
+                              [0.5, 1.5, 0.5],
+                              [1.5, 0.5, 0.5]])
+        codes = morton_codes(positions, **GRID)
+        assert list(codes) == [1, 2, 4]
+
+    def test_locality_better_than_row_major(self):
+        # Neighbours across the y-z faces should have closer Morton
+        # codes than row-major indices on average.
+        rng = np.random.default_rng(0)
+        positions = rng.uniform(0, 4, (500, 3))
+        codes = morton_codes(positions, **GRID)
+        assert codes.dtype == np.uint64
+
+    def test_dims_limit(self):
+        with pytest.raises(ConfigurationError):
+            morton_codes(np.zeros((1, 3)), (0, 0, 0), (1, 1, 1),
+                         (1 << 22, 4, 4))
+
+
+class TestSorting:
+    @pytest.fixture
+    def scattered(self, rng, layout):
+        ensemble = make_ensemble(200, layout)
+        ensemble.set_positions(rng.uniform(0.0, 4.0, (200, 3)))
+        ensemble.component("weight")[:] = np.arange(200)
+        return ensemble
+
+    def test_sort_by_cell_orders_keys(self, scattered):
+        sort_by_cell(scattered, **GRID)
+        keys = cell_indices(scattered.positions(), **GRID)
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_sort_by_morton_orders_keys(self, scattered):
+        sort_by_morton(scattered, **GRID)
+        keys = morton_codes(scattered.positions(), **GRID)
+        assert np.all(np.diff(keys.astype(np.int64)) >= 0)
+
+    def test_sort_returns_applied_permutation(self, scattered):
+        before = scattered.component("weight").copy()
+        order = sort_by_cell(scattered, **GRID)
+        np.testing.assert_array_equal(scattered.component("weight"),
+                                      before[order])
+
+    def test_sort_preserves_particle_identity(self, scattered):
+        weights_before = sorted(scattered.component("weight"))
+        sort_by_cell(scattered, **GRID)
+        assert sorted(scattered.component("weight")) == weights_before
+
+
+class TestSortingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.0, max_value=3.999, allow_nan=False),
+        st.floats(min_value=0.0, max_value=3.999, allow_nan=False),
+        st.floats(min_value=0.0, max_value=3.999, allow_nan=False)),
+        min_size=1, max_size=50))
+    def test_sort_is_permutation(self, points):
+        ensemble = make_ensemble(len(points), Layout.SOA)
+        ensemble.set_positions(np.array(points))
+        marker = np.arange(len(points), dtype=np.float64)
+        ensemble.component("weight")[:] = marker
+        sort_by_morton(ensemble, **GRID)
+        assert sorted(ensemble.component("weight")) == list(marker)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        st.floats(min_value=-10, max_value=10, allow_nan=False),
+        st.floats(min_value=-10, max_value=10, allow_nan=False)),
+        min_size=1, max_size=50))
+    def test_cell_indices_in_range(self, points):
+        indices = cell_indices(np.array(points), **GRID)
+        assert indices.min() >= 0
+        assert indices.max() < 64

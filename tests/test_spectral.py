@@ -1,0 +1,170 @@
+"""Tests for the FFT-based (PSATD) Maxwell solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import SimulationError
+from repro.fields import UniformField, YeeGrid
+from repro.pic import FdtdSolver, SpectralSolver, max_stable_dt
+
+
+def vacuum_grid(cells=16, spacing=1.0e-5):
+    return YeeGrid((0.0, 0.0, 0.0), (spacing, spacing, spacing),
+                   (cells, 4, 4))
+
+
+def seed_standing_mode(grid, harmonics=1):
+    """Lowest standing E_y mode along x at corner-co-located nodes."""
+    nx = grid.dims[0]
+    k = 2.0 * math.pi * harmonics / (nx * grid.spacing[0])
+    x = grid.node_coordinates(0)
+    grid.component("ey")[:] = np.cos(k * x)[:, None, None]
+    return k
+
+
+class TestVacuumExactness:
+    def test_full_period_returns_exactly(self):
+        # PSATD is exact in vacuum: one period brings the mode back to
+        # machine precision (FDTD would leave dispersion error).
+        grid = vacuum_grid()
+        k = seed_standing_mode(grid)
+        before = grid.component("ey").copy()
+        period = 2.0 * math.pi / (SPEED_OF_LIGHT * k)
+        solver = SpectralSolver(grid, period / 16.0)
+        solver.run(16)
+        np.testing.assert_allclose(grid.component("ey"), before,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_quarter_period_swaps_e_and_b(self):
+        grid = vacuum_grid()
+        k = seed_standing_mode(grid)
+        amplitude = np.abs(grid.component("ey")).max()
+        period = 2.0 * math.pi / (SPEED_OF_LIGHT * k)
+        solver = SpectralSolver(grid, period / 4.0)
+        solver.step()
+        # All electric energy has become magnetic.
+        assert np.abs(grid.component("ey")).max() < 1e-12 * amplitude
+        assert np.abs(grid.component("bz")).max() == pytest.approx(
+            amplitude, rel=1e-12)
+
+    def test_no_courant_limit(self):
+        # A dt far beyond the FDTD CFL limit stays exact.
+        grid = vacuum_grid()
+        k = seed_standing_mode(grid)
+        before = grid.component("ey").copy()
+        period = 2.0 * math.pi / (SPEED_OF_LIGHT * k)
+        cfl = max_stable_dt(grid.spacing, 1.0)
+        assert period > 10.0 * cfl           # demonstrably super-CFL
+        solver = SpectralSolver(grid, period)
+        solver.step()
+        np.testing.assert_allclose(grid.component("ey"), before,
+                                   rtol=1e-12)
+
+    def test_uniform_field_static(self):
+        grid = vacuum_grid()
+        grid.fill_from_source(UniformField(e=(1, 2, 3), b=(4, 5, 6)), 0.0)
+        solver = SpectralSolver(grid, 1e-15)
+        solver.run(10)
+        assert np.allclose(grid.component("ex"), 1.0)
+        assert np.allclose(grid.component("by"), 5.0)
+
+    def test_energy_exactly_conserved(self):
+        grid = vacuum_grid()
+        seed_standing_mode(grid, harmonics=2)
+        solver = SpectralSolver(grid, 0.37e-15)     # incommensurate dt
+        start = grid.field_energy()
+        solver.run(50)
+        assert grid.field_energy() == pytest.approx(start, rel=1e-12)
+
+    def test_divergence_b_zero(self):
+        grid = vacuum_grid()
+        seed_standing_mode(grid)
+        solver = SpectralSolver(grid, 1e-15)
+        solver.run(20)
+        scale = np.abs(grid.component("bz")).max() / grid.spacing[0] + 1e-30
+        assert np.abs(solver.divergence_b()).max() < 1e-10 * scale
+
+
+class TestCurrentDrive:
+    def test_uniform_current_drives_e_linearly(self):
+        grid = vacuum_grid()
+        j0 = 1.0e8
+        grid.currents["jx"][:] = j0
+        dt = 1.0e-16
+        solver = SpectralSolver(grid, dt)
+        solver.run(10)
+        expected = -4.0 * math.pi * j0 * 10 * dt
+        assert np.allclose(grid.component("ex"), expected, rtol=1e-12)
+
+    def test_matches_fdtd_for_resolved_waves(self):
+        # Both solvers must agree on a well-resolved mode over a short
+        # time (FDTD is 2nd order; agreement at the dispersion-error
+        # level).
+        grid_a, grid_b = vacuum_grid(cells=64), vacuum_grid(cells=64)
+        seed_standing_mode(grid_a, harmonics=1)
+        # FDTD stores Ey staggered; same cosine at its own positions.
+        nx = grid_b.dims[0]
+        k = 2.0 * math.pi / (nx * grid_b.spacing[0])
+        x_ey = grid_b.component_coordinates("ey", 0)
+        grid_b.component("ey")[:] = np.cos(k * x_ey)[:, None, None]
+
+        dt = max_stable_dt(grid_b.spacing, 0.5)
+        steps = 100
+        SpectralSolver(grid_a, dt).run(steps)
+        FdtdSolver(grid_b, dt).run(steps)
+        # Compare mode amplitude histories via energy.
+        assert grid_a.field_energy() == pytest.approx(
+            grid_b.field_energy(), rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SpectralSolver(vacuum_grid(), 0.0)
+        solver = SpectralSolver(vacuum_grid(), 1e-16)
+        with pytest.raises(SimulationError):
+            solver.run(-1)
+
+
+class TestSpectralPic:
+    def test_plasma_oscillation_with_spectral_solver(self):
+        from repro.constants import ELECTRON_MASS, ELEMENTARY_CHARGE
+        from repro.particles import ParticleEnsemble
+        from repro.pic import EnergyHistory, PicSimulation, plasma_frequency
+
+        density = 1.0e18
+        omega_p = plasma_frequency(density, ELECTRON_MASS,
+                                   ELEMENTARY_CHARGE)
+        dx = 2.0e-5
+        dims = (16, 4, 4)
+        grid = YeeGrid((0, 0, 0), (dx, dx, dx), dims)
+        counts = [d * 2 for d in dims]
+        axes = [(np.arange(c) + 0.5) * (d * dx / c)
+                for c, d in zip(counts, dims)]
+        gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+        positions = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=1)
+        n = positions.shape[0]
+        weight = density * grid.cell_volume * grid.num_cells / n
+        v0 = 1.0e-3 * SPEED_OF_LIGHT
+        momenta = np.zeros((n, 3))
+        momenta[:, 0] = ELECTRON_MASS * v0 * np.sin(
+            2.0 * math.pi * positions[:, 0] / (dims[0] * dx))
+        electrons = ParticleEnsemble.from_arrays(
+            positions, momenta, weights=np.full(n, weight))
+        dt = 0.35 * dx / (SPEED_OF_LIGHT * math.sqrt(3.0))
+        simulation = PicSimulation(grid, electrons, dt,
+                                   field_solver="spectral")
+        history = EnergyHistory()
+        steps = int(3.0 * 2.0 * math.pi / omega_p / dt)
+        simulation.run(steps, energy_history=history)
+        measured = history.dominant_frequency() / 2.0
+        assert measured == pytest.approx(omega_p, rel=0.02)
+
+    def test_unknown_solver_rejected(self):
+        from repro.particles import ParticleEnsemble
+        from repro.pic import PicSimulation
+        grid = vacuum_grid()
+        ensemble = ParticleEnsemble.from_arrays([[1e-5] * 3], [[0] * 3])
+        with pytest.raises(SimulationError):
+            PicSimulation(grid, ensemble, 1e-17, field_solver="psatd2")

@@ -1,0 +1,71 @@
+"""Integration test: two-stream instability growth rate.
+
+The strictest whole-stack PIC validation in the suite: the measured
+linear growth rate of the cold symmetric two-stream instability agrees
+with kinetic theory only if the field solver, interpolation, pusher and
+charge-conserving deposition are mutually consistent.
+"""
+
+import math
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "examples"))
+
+from two_stream_instability import (THEORY_RATE, fit_growth_rate,  # noqa: E402
+                                    run)
+
+
+class TestTwoStream:
+    @pytest.fixture(scope="class")
+    def result(self):
+        times, field_energy, omega_p = run(periods=15.0, seed=1)
+        return times, field_energy, omega_p
+
+    def test_field_energy_grows_by_orders_of_magnitude(self, result):
+        _, field_energy, _ = result
+        assert field_energy.max() / field_energy[1] > 1.0e3
+
+    def test_growth_rate_matches_cold_beam_theory(self, result):
+        times, field_energy, omega_p = result
+        rate = fit_growth_rate(times, field_energy) / omega_p
+        # 32 cells / 32 ppc resolves the rate to ~15%.
+        assert rate == pytest.approx(THEORY_RATE, rel=0.2)
+
+    def test_instability_saturates(self, result):
+        times, field_energy, _ = result
+        # Exponential growth ends: the last two plasma periods add far
+        # less energy than the linear phase's e-folding would.
+        last_tenth = field_energy[int(0.9 * field_energy.size):]
+        assert last_tenth.max() < 3.0 * last_tenth.min() or \
+            last_tenth.max() < field_energy.max()
+        # And the final level stays within two decades of the peak
+        # (trapping oscillations, not collapse).
+        assert field_energy[-1] > 1.0e-2 * field_energy.max()
+
+    def test_total_momentum_stays_zero(self):
+        # Symmetric beams: the instability must not create net momentum.
+        from repro.constants import (ELECTRON_MASS, ELEMENTARY_CHARGE,
+                                     SPEED_OF_LIGHT)
+        from repro.fields import YeeGrid
+        from repro.pic import PicSimulation, plasma_frequency, total_momentum
+        from two_stream_instability import build_beams
+
+        density = 1.0e18
+        omega_p = plasma_frequency(density, ELECTRON_MASS,
+                                   ELEMENTARY_CHARGE)
+        v0 = 0.2 * SPEED_OF_LIGHT
+        box = 2.0 * math.pi / (math.sqrt(3.0 / 8.0) * omega_p / v0)
+        dx = box / 32
+        grid = YeeGrid((0, 0, 0), (dx, dx, dx), (32, 2, 2))
+        electrons = build_beams(grid, box, v0, density, 16, seed=2)
+        scale = float(np.abs(electrons.momenta()).sum())
+        simulation = PicSimulation(grid, electrons, 0.1 / omega_p,
+                                   field_solver="spectral")
+        simulation.run(int(8.0 * 2.0 * math.pi / omega_p / (0.1 / omega_p)))
+        drift = np.abs(total_momentum(electrons))
+        weights = electrons.component("weight").astype(np.float64)
+        assert drift[0] / (scale * weights[0]) < 1e-2

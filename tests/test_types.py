@@ -1,0 +1,91 @@
+"""Tests for the particle species table."""
+
+import numpy as np
+import pytest
+
+from repro.constants import ELECTRON_MASS, ELEMENTARY_CHARGE, PROTON_MASS
+from repro.errors import ConfigurationError
+from repro.particles import ParticleSpecies, ParticleTypeTable
+
+
+class TestParticleSpecies:
+    def test_fields(self):
+        s = ParticleSpecies("muon", 1.88e-25, -ELEMENTARY_CHARGE)
+        assert s.name == "muon"
+        assert s.mass == pytest.approx(1.88e-25)
+
+    def test_rejects_nonpositive_mass(self):
+        with pytest.raises(ConfigurationError):
+            ParticleSpecies("ghost", 0.0, 0.0)
+
+    def test_frozen(self):
+        s = ParticleSpecies("e", ELECTRON_MASS, -ELEMENTARY_CHARGE)
+        with pytest.raises(AttributeError):
+            s.mass = 1.0
+
+
+class TestDefaultTable:
+    def test_three_species(self, type_table):
+        assert len(type_table) == 3
+
+    def test_electron_is_id_zero(self, type_table):
+        assert type_table[0].name == "electron"
+        assert type_table[0].charge == pytest.approx(-ELEMENTARY_CHARGE)
+
+    def test_positron_mirror(self, type_table):
+        assert type_table[1].mass == type_table[0].mass
+        assert type_table[1].charge == -type_table[0].charge
+
+    def test_proton(self, type_table):
+        assert type_table[2].mass == pytest.approx(PROTON_MASS)
+
+    def test_id_of(self, type_table):
+        assert type_table.id_of("proton") == 2
+
+    def test_id_of_unknown_raises(self, type_table):
+        with pytest.raises(ConfigurationError):
+            type_table.id_of("graviton")
+
+    def test_iteration_in_id_order(self, type_table):
+        names = [s.name for s in type_table]
+        assert names == ["electron", "positron", "proton"]
+
+
+class TestRegistration:
+    def test_ids_are_dense(self):
+        table = ParticleTypeTable()
+        a = table.register(ParticleSpecies("a", 1.0, 1.0))
+        b = table.register(ParticleSpecies("b", 2.0, -1.0))
+        assert (a, b) == (0, 1)
+
+    def test_duplicate_name_rejected(self):
+        table = ParticleTypeTable()
+        table.register(ParticleSpecies("a", 1.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            table.register(ParticleSpecies("a", 2.0, 1.0))
+
+    def test_unknown_id_raises(self, type_table):
+        with pytest.raises(ConfigurationError):
+            type_table[42]
+
+
+class TestVectorizedLookup:
+    def test_masses_of(self, type_table):
+        ids = np.array([0, 2, 1, 0], dtype=np.int16)
+        masses = type_table.masses_of(ids)
+        assert masses[0] == masses[3] == pytest.approx(ELECTRON_MASS)
+        assert masses[1] == pytest.approx(PROTON_MASS)
+
+    def test_charges_of_signs(self, type_table):
+        ids = np.array([0, 1], dtype=np.int16)
+        charges = type_table.charges_of(ids)
+        assert charges[0] < 0 < charges[1]
+
+    def test_out_of_range_ids_rejected(self, type_table):
+        with pytest.raises(ConfigurationError):
+            type_table.masses_of(np.array([0, 5], dtype=np.int16))
+        with pytest.raises(ConfigurationError):
+            type_table.charges_of(np.array([-1], dtype=np.int16))
+
+    def test_empty_lookup(self, type_table):
+        assert type_table.masses_of(np.array([], dtype=np.int16)).size == 0
