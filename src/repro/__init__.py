@@ -19,7 +19,10 @@ al., PACT 2021):
   warm-up, roofline device timing) that stands in for the Intel
   hardware of the paper's evaluation;
 * :mod:`repro.bench` — the benchmark harness regenerating every table
-  and figure of the paper (see DESIGN.md / EXPERIMENTS.md).
+  and figure of the paper (see DESIGN.md / EXPERIMENTS.md);
+* :mod:`repro.observability` — structured tracing/profiling of the
+  simulated runtime: nestable spans, per-kernel counters and Chrome
+  ``trace_event`` export (see docs/PROFILING.md).
 
 Quickstart::
 
@@ -49,6 +52,7 @@ from .errors import (
     KernelError,
     FieldError,
     SimulationError,
+    TraceError,
 )
 from .particles import (
     Layout,
@@ -83,6 +87,14 @@ from .analysis import (
     run_escape_study,
     escape_rate_sweep,
 )
+from .observability import (
+    Tracer,
+    tracing,
+    active_tracer,
+    write_chrome_trace,
+    kernel_summary,
+    format_kernel_summary,
+)
 from .core import (
     BorisPusher,
     VayPusher,
@@ -116,6 +128,7 @@ __all__ = [
     "KernelError",
     "FieldError",
     "SimulationError",
+    "TraceError",
     "Layout",
     "Particle",
     "ParticleProxy",
@@ -156,5 +169,11 @@ __all__ = [
     "advance",
     "TrajectoryRecorder",
     "integrate_trajectory_rk4",
+    "Tracer",
+    "tracing",
+    "active_tracer",
+    "write_chrome_trace",
+    "kernel_summary",
+    "format_kernel_summary",
     "__version__",
 ]

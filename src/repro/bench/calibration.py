@@ -11,6 +11,14 @@ The same constants are used for every experiment — Table 2, Table 3,
 Fig. 1 and the in-text effects are all produced by this single
 parameterisation, which is what makes the model a reproduction rather
 than a per-table curve fit.
+
+Public return types: :func:`xeon_8260l_node`, :func:`p630`,
+:func:`iris_xe_max` and :func:`device_by_name` each return a fresh
+:class:`~repro.oneapi.device.DeviceDescriptor`;
+:func:`cost_model_for` returns a
+:class:`~repro.oneapi.costmodel.CostModel` bound to the given
+descriptor; ``DEVICE_NAMES`` is the tuple of names
+:func:`device_by_name` accepts.
 """
 
 from __future__ import annotations

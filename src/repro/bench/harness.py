@@ -1,19 +1,36 @@
 """Experiment runners for every table and figure of the paper.
 
-Each public function regenerates one artefact:
+Each public function regenerates one artefact; return shapes are fixed
+API (the CLI, validation suite and observability layer all consume
+them):
 
+* :func:`model_push_nsps` — one benchmark cell; returns a
+  :class:`ModelResult`;
 * :func:`table2_rows` — Table 2 (CPU NSPS, 6 implementations x 2
-  scenarios x 2 precisions);
-* :func:`table3_rows` — Table 3 (GPU NSPS, single precision);
+  scenarios x 2 precisions); returns
+  ``rows[(layout, parallelization)][(scenario, precision)] -> float``;
+* :func:`table3_rows` — Table 3 (GPU NSPS, single precision); returns
+  ``rows[layout][(scenario, device_name)] -> float``;
 * :func:`fig1_series` — Fig. 1 (strong-scaling speedup, 1-48 cores);
+  returns ``series["OpenMP/AoS"] -> [(cores, speedup), ...]``;
 * :func:`first_iteration_ratio` — the in-text "first iteration takes
-  50% longer";
+  50% longer"; returns the dimensionless ratio as a ``float``;
 * :func:`thread_sweep` — the in-text "96 threads is empirically best"
-  hyperthreading observation.
+  hyperthreading observation; returns ``{48: nsps, 96: nsps}``
+  (thread count -> modelled NSPS, both as plain ``int``/``float``).
 
 All runners work on the *modelled* device times (the paper's hardware
 does not exist here); the real numpy kernels can be measured separately
 via :func:`repro.bench.metrics.measure_real_nsps`.
+
+Every runner reports into the observability layer when a tracer is
+installed (``python -m repro trace table2 --out t.json``, or
+:func:`repro.observability.tracing` in code): one ``bench``-category
+span per artefact, one ``cell:...`` span per benchmark cell — the cell
+span is the scope under which the traced kernel statistics are keyed,
+so per-cell NSPS can be recomputed from the trace alone.  Tracing only
+observes; traced and untraced runs produce identical numbers (enforced
+by ``tests/test_observability.py``).
 """
 
 from __future__ import annotations
@@ -23,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..fields.dipole import MDipoleWave
+from ..observability.tracer import trace_span
 from ..fp import Precision
 from ..oneapi.device import DeviceDescriptor
 from ..oneapi.queue import Queue, RuntimeConfig
@@ -94,17 +112,21 @@ def model_push_nsps(case: BenchmarkCase,
     """
     if steps < 3:
         raise ConfigurationError("need at least 3 launches (warm-up + steady)")
-    device = _device_for(case)
-    queue = Queue(device, _config_for(case, units, threads_per_unit),
-                  cost_model_for(device))
-    field_flops = (MDipoleWave.flops_per_evaluation
-                   if case.scenario == "analytical" else 0.0)
-    spec = build_virtual_push_spec(n, case.layout, case.precision,
-                                   case.scenario, queue.memory,
-                                   field_flops=field_flops)
-    records = [queue.parallel_for(n, spec, precision=case.precision)
-               for _ in range(steps)]
-    steady = nsps_from_records(records)
+    cores = "" if units is None and threads_per_unit is None else \
+        f"@{units or 'all'}c/{threads_per_unit or 'all'}t"
+    with trace_span(f"cell:{case.label}{cores}", "bench",
+                    n_particles=n, steps=steps):
+        device = _device_for(case)
+        queue = Queue(device, _config_for(case, units, threads_per_unit),
+                      cost_model_for(device))
+        field_flops = (MDipoleWave.flops_per_evaluation
+                       if case.scenario == "analytical" else 0.0)
+        spec = build_virtual_push_spec(n, case.layout, case.precision,
+                                       case.scenario, queue.memory,
+                                       field_flops=field_flops)
+        records = [queue.parallel_for(n, spec, precision=case.precision)
+                   for _ in range(steps)]
+        steady = nsps_from_records(records)
     return ModelResult(
         case=case,
         nsps=steady,
@@ -123,16 +145,17 @@ def table2_rows(n: int = PAPER_PARTICLES,
     Returns ``rows[(layout, parallelization)][(scenario, precision)]``.
     """
     rows: Dict[Tuple[str, str], Dict[Tuple[str, str], float]] = {}
-    for layout in (Layout.AOS, Layout.SOA):
-        for parallelization in CPU_PARALLELIZATIONS:
-            row: Dict[Tuple[str, str], float] = {}
-            for scenario in ("precalculated", "analytical"):
-                for precision in (Precision.SINGLE, Precision.DOUBLE):
-                    case = BenchmarkCase(scenario, layout, precision,
-                                         parallelization)
-                    row[(scenario, precision.value)] = \
-                        model_push_nsps(case, n, steps).nsps
-            rows[(layout.value, parallelization)] = row
+    with trace_span("table2", "bench", n_particles=n):
+        for layout in (Layout.AOS, Layout.SOA):
+            for parallelization in CPU_PARALLELIZATIONS:
+                row: Dict[Tuple[str, str], float] = {}
+                for scenario in ("precalculated", "analytical"):
+                    for precision in (Precision.SINGLE, Precision.DOUBLE):
+                        case = BenchmarkCase(scenario, layout, precision,
+                                             parallelization)
+                        row[(scenario, precision.value)] = \
+                            model_push_nsps(case, n, steps).nsps
+                rows[(layout.value, parallelization)] = row
     return rows
 
 
@@ -145,17 +168,18 @@ def table3_rows(n: int = PAPER_PARTICLES,
     over from Table 2.  Returns ``rows[layout][(scenario, device)]``.
     """
     rows: Dict[str, Dict[Tuple[str, str], float]] = {}
-    for layout in (Layout.AOS, Layout.SOA):
-        row: Dict[Tuple[str, str], float] = {}
-        for scenario in ("precalculated", "analytical"):
-            for device_name in ("cpu", "p630", "iris-xe-max"):
-                parallelization = ("DPC++ NUMA" if device_name == "cpu"
-                                   else device_name)
-                case = BenchmarkCase(scenario, layout, Precision.SINGLE,
-                                     parallelization)
-                row[(scenario, device_name)] = \
-                    model_push_nsps(case, n, steps).nsps
-        rows[layout.value] = row
+    with trace_span("table3", "bench", n_particles=n):
+        for layout in (Layout.AOS, Layout.SOA):
+            row: Dict[Tuple[str, str], float] = {}
+            for scenario in ("precalculated", "analytical"):
+                for device_name in ("cpu", "p630", "iris-xe-max"):
+                    parallelization = ("DPC++ NUMA" if device_name == "cpu"
+                                       else device_name)
+                    case = BenchmarkCase(scenario, layout, Precision.SINGLE,
+                                         parallelization)
+                    row[(scenario, device_name)] = \
+                        model_push_nsps(case, n, steps).nsps
+            rows[layout.value] = row
     return rows
 
 
@@ -173,18 +197,19 @@ def fig1_series(core_counts: Optional[Sequence[int]] = None,
     if core_counts is None:
         core_counts = (1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 36, 40, 44, 48)
     series: Dict[str, List[Tuple[int, float]]] = {}
-    for parallelization in ("OpenMP", "DPC++ NUMA"):
-        for layout in (Layout.AOS, Layout.SOA):
-            case = BenchmarkCase("precalculated", layout, Precision.SINGLE,
-                                 parallelization)
-            base = model_push_nsps(case, n, steps, units=1,
-                                   threads_per_unit=2).nsps
-            points = []
-            for cores in core_counts:
-                result = model_push_nsps(case, n, steps, units=cores,
-                                         threads_per_unit=2)
-                points.append((cores, base / result.nsps))
-            series[f"{parallelization}/{layout.value}"] = points
+    with trace_span("fig1", "bench", n_particles=n):
+        for parallelization in ("OpenMP", "DPC++ NUMA"):
+            for layout in (Layout.AOS, Layout.SOA):
+                case = BenchmarkCase("precalculated", layout,
+                                     Precision.SINGLE, parallelization)
+                base = model_push_nsps(case, n, steps, units=1,
+                                       threads_per_unit=2).nsps
+                points = []
+                for cores in core_counts:
+                    result = model_push_nsps(case, n, steps, units=cores,
+                                             threads_per_unit=2)
+                    points.append((cores, base / result.nsps))
+                series[f"{parallelization}/{layout.value}"] = points
     return series
 
 
@@ -200,8 +225,9 @@ def first_iteration_ratio(n: int = PAPER_PARTICLES,
     """
     case = BenchmarkCase("precalculated", Layout.SOA, Precision.SINGLE,
                          "DPC++ NUMA")
-    return model_push_nsps(case, n, steps).first_iteration_ratio(
-        steps_per_iteration)
+    with trace_span("first-iter", "bench", n_particles=n):
+        return model_push_nsps(case, n, steps).first_iteration_ratio(
+            steps_per_iteration)
 
 
 def thread_sweep(n: int = PAPER_PARTICLES,
@@ -215,9 +241,10 @@ def thread_sweep(n: int = PAPER_PARTICLES,
     """
     case = BenchmarkCase("precalculated", Layout.SOA, Precision.SINGLE,
                          "OpenMP")
-    return {
-        48: model_push_nsps(case, n, steps, units=48,
-                            threads_per_unit=1).nsps,
-        96: model_push_nsps(case, n, steps, units=48,
-                            threads_per_unit=2).nsps,
-    }
+    with trace_span("threads", "bench", n_particles=n):
+        return {
+            48: model_push_nsps(case, n, steps, units=48,
+                                threads_per_unit=1).nsps,
+            96: model_push_nsps(case, n, steps, units=48,
+                                threads_per_unit=2).nsps,
+        }

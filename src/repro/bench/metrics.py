@@ -3,6 +3,14 @@
 NSPS (nanoseconds per particle per step) is the paper's figure of
 merit: average iteration time in nanoseconds divided by the particle
 count and the steps per iteration.
+
+Public return types: :func:`nsps_from_records` returns the steady-state
+NSPS as a ``float``; :func:`measure_real_nsps` returns a
+:class:`MeasuredResult` (``nsps``, ``n_particles``, ``steps``,
+``total_seconds``).  The warm-up-skipping rule of
+:func:`nsps_from_records` is mirrored byte-for-byte by
+:func:`repro.observability.summary.steady_nsps`, so NSPS recomputed
+from a captured trace agrees exactly with the harness.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from ..core.kernels import boris_push_analytical, boris_push_precalculated
 from ..errors import ConfigurationError
 from ..fields.base import FieldSource
 from ..fields.precalculated import PrecalculatedField
+from ..observability.tracer import trace_span
 from ..oneapi.queue import KernelLaunchRecord
 from ..particles.ensemble import ParticleEnsemble
 
@@ -72,21 +81,25 @@ def measure_real_nsps(ensemble: ParticleEnsemble, scenario: str,
 
     def one_step(timed: bool) -> float:
         nonlocal sim_time
-        if precalc is not None:
-            precalc.refresh(source, ensemble, sim_time)   # untimed prep
-            start = time.perf_counter()
-            boris_push_precalculated(ensemble, precalc, dt)
-            elapsed = time.perf_counter() - start
-        else:
-            start = time.perf_counter()
-            boris_push_analytical(ensemble, source, sim_time, dt)
-            elapsed = time.perf_counter() - start
+        with trace_span(f"measure-step:{scenario}", "measure",
+                        timed=timed):
+            if precalc is not None:
+                precalc.refresh(source, ensemble, sim_time)   # untimed prep
+                start = time.perf_counter()
+                boris_push_precalculated(ensemble, precalc, dt)
+                elapsed = time.perf_counter() - start
+            else:
+                start = time.perf_counter()
+                boris_push_analytical(ensemble, source, sim_time, dt)
+                elapsed = time.perf_counter() - start
         sim_time += dt
         return elapsed if timed else 0.0
 
-    for _ in range(warmup_steps):
-        one_step(timed=False)
-    total = sum(one_step(timed=True) for _ in range(steps))
+    with trace_span(f"measure:{scenario}", "measure",
+                    n_particles=ensemble.size, steps=steps):
+        for _ in range(warmup_steps):
+            one_step(timed=False)
+        total = sum(one_step(timed=True) for _ in range(steps))
     nsps = total * 1.0e9 / (ensemble.size * steps)
     return MeasuredResult(nsps=nsps, n_particles=ensemble.size,
                           steps=steps, total_seconds=total)

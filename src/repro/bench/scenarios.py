@@ -12,6 +12,15 @@ matters for the physics examples.
 
 Implementations (Table 2): {AoS, SoA} x {OpenMP, DPC++, DPC++ NUMA};
 plus the two GPUs for Table 3.
+
+Public return types: :func:`paper_wave` returns the
+:class:`~repro.fields.dipole.MDipoleWave`; :func:`paper_time_step` a
+``float`` [s]; :func:`paper_ensemble` a
+:class:`~repro.particles.ensemble.ParticleEnsemble` of the requested
+layout/precision; :func:`runtime_config_for` a
+:class:`~repro.oneapi.queue.RuntimeConfig`; :class:`BenchmarkCase` is
+the frozen cell descriptor whose ``label`` property names tracing
+scopes and table rows.
 """
 
 from __future__ import annotations

@@ -3,6 +3,12 @@
 ``PAPER_TABLE2`` / ``PAPER_TABLE3`` transcribe the paper's measured
 NSPS so the harness can print model-vs-paper comparisons and the test
 suite can assert the qualitative claims (orderings, ratios) hold.
+
+Public return types: :func:`format_table` and
+:func:`comparison_table` both return the rendered table as a single
+``str`` (newline-joined, ready to print); the ``PAPER_*`` constants
+are plain dicts keyed exactly like their
+:mod:`~repro.bench.harness` counterparts.
 """
 
 from __future__ import annotations

@@ -6,6 +6,11 @@ paper's quantitative claims, returning a structured report the CLI
 (``python -m repro validate``) prints as a checklist.  This is the
 "does the reproduction still reproduce" entry point — the test suite
 asserts the same claims, but this produces the human-readable artefact.
+
+Public return types: :func:`validate_against_paper` returns a
+:class:`ValidationReport` whose ``checks`` list holds one
+:class:`Check` (``claim``, ``detail``, ``passed``) per claim, with an
+aggregate pass property over them.
 """
 
 from __future__ import annotations

@@ -9,14 +9,23 @@ Usage::
     python -m repro threads           # in-text hyperthreading effect
     python -m repro measure           # real numpy kernel NSPS on this host
     python -m repro devices           # simulated device inventory
+    python -m repro trace table2 --out t.json   # traced run -> Chrome JSON
 
 ``--particles`` scales the modelled ensemble (default: the paper's
 1e7; the model is O(1) in memory, so the default is cheap).
+
+Any command can also be traced in place with the ``--trace`` flag,
+accepted before or after the command:
+``python -m repro table2 --trace out.json``.
+Both spellings write a Chrome ``trace_event`` file (open it in
+``chrome://tracing`` or https://ui.perfetto.dev) and print the
+per-kernel summary table; see ``docs/PROFILING.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -176,6 +185,13 @@ def _cmd_devices(args: argparse.Namespace) -> None:
         rows, "Simulated devices (paper Table 1)"))
 
 
+def _add_trace_flag(parser: argparse.ArgumentParser, default) -> None:
+    parser.add_argument("--trace", metavar="OUT.json", default=default,
+                        help="run the command under the tracer and write "
+                             "a Chrome trace_event JSON (open in "
+                             "chrome://tracing or Perfetto)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -185,12 +201,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--particles", type=int, default=10_000_000,
                         help="modelled particle count (default: the "
                              "paper's 1e7)")
+    _add_trace_flag(parser, default=None)
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("table2", help="Table 2: CPU NSPS")
-    sub.add_parser("table3", help="Table 3: GPU NSPS")
-    sub.add_parser("fig1", help="Fig. 1: strong-scaling speedup")
-    sub.add_parser("first-iter", help="first-iteration slowdown")
-    sub.add_parser("threads", help="hyperthreading sweep")
+    commands = [
+        sub.add_parser("table2", help="Table 2: CPU NSPS"),
+        sub.add_parser("table3", help="Table 3: GPU NSPS"),
+        sub.add_parser("fig1", help="Fig. 1: strong-scaling speedup"),
+        sub.add_parser("first-iter", help="first-iteration slowdown"),
+        sub.add_parser("threads", help="hyperthreading sweep"),
+    ]
     measure = sub.add_parser("measure",
                              help="time the real numpy kernels here")
     measure.add_argument("--measure-particles", type=int, default=200_000)
@@ -201,11 +220,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="wave power in PW (paper: 0.1)")
     escape.add_argument("--escape-particles", type=int, default=5_000)
     escape.add_argument("--cycles", type=int, default=5)
-    sub.add_parser("roofline",
-                   help="arithmetic-intensity analysis per device")
-    sub.add_parser("validate",
-                   help="check every paper claim against the model")
-    sub.add_parser("devices", help="list simulated devices")
+    commands += [
+        measure,
+        escape,
+        sub.add_parser("roofline",
+                       help="arithmetic-intensity analysis per device"),
+        sub.add_parser("validate",
+                       help="check every paper claim against the model"),
+        sub.add_parser("devices", help="list simulated devices"),
+    ]
+    for command in commands:
+        # accept --trace after the command too; SUPPRESS keeps a value
+        # given before the command from being clobbered by the default
+        _add_trace_flag(command, default=argparse.SUPPRESS)
+    trace = sub.add_parser(
+        "trace",
+        help="run a benchmark command under the tracer and write a "
+             "Chrome trace_event JSON")
+    trace.add_argument("trace_command", choices=sorted(TRACEABLE_COMMANDS),
+                       help="which artefact runner to trace")
+    trace.add_argument("--out", required=True, metavar="OUT.json",
+                       help="path of the Chrome trace to write")
     return parser
 
 
@@ -222,11 +257,49 @@ _COMMANDS = {
     "devices": _cmd_devices,
 }
 
+#: Commands `repro trace CMD` accepts: every runner whose only knob is
+#: the global --particles (commands with their own required options are
+#: traced via the global --trace flag instead).
+TRACEABLE_COMMANDS = ("table2", "table3", "fig1", "first-iter", "threads",
+                      "validate")
+
+
+def _run_traced(command: str, args: argparse.Namespace, out: str) -> None:
+    """Run one command under a fresh tracer; write trace + summary."""
+    from .observability import (Tracer, format_kernel_summary, tracing,
+                                write_chrome_trace)
+    tracer = Tracer()
+    with tracing(tracer):
+        _COMMANDS[command](args)
+    write_chrome_trace(tracer, out)
+    if tracer.kernel_stats:
+        print()
+        print(format_kernel_summary(tracer))
+    print(f"\ntrace written to {out} "
+          f"({len(tracer.sim_slices)} simulated launches, "
+          f"{len(tracer.spans)} host spans); open it in chrome://tracing "
+          f"or https://ui.perfetto.dev")
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    _COMMANDS[args.command](args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    command = args.command
+    out = getattr(args, "trace", None)
+    if command == "trace":
+        command = args.trace_command
+        out = args.out
+    if out is not None:
+        # fail before the (possibly minutes-long) run, not at write time
+        parent = os.path.dirname(os.path.abspath(out))
+        if not os.path.isdir(parent):
+            parser.error(f"--trace/--out: directory {parent!r} does not "
+                         f"exist")
+    if out is not None:
+        _run_traced(command, args, out)
+    else:
+        _COMMANDS[command](args)
     return 0
 
 

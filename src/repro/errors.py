@@ -9,33 +9,93 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Usage: catch this to handle *any* deliberate library failure in one
+    place (e.g. around a whole experiment run) while letting genuine
+    bugs — ``TypeError``, ``AttributeError`` — propagate::
+
+        try:
+            table2_rows()
+        except ReproError as exc:
+            print(f"benchmark aborted: {exc}")
+    """
 
 
 class ConfigurationError(ReproError):
-    """An object was configured with inconsistent or invalid parameters."""
+    """An object was configured with inconsistent or invalid parameters.
+
+    Usage: raised eagerly at construction or call time (bad step
+    counts, unknown scenario names, mismatched cost model and device),
+    never mid-computation — if you see it, fix the arguments at the
+    raising call site; retrying cannot succeed.
+    """
 
 
 class LayoutError(ReproError):
     """A particle-storage layout operation was invalid (e.g. mixing
-    ensembles with different layouts or precisions)."""
+    ensembles with different layouts or precisions).
+
+    Usage: convert one side explicitly (``ensemble.to_layout`` /
+    ``astype``-style helpers) before combining; the library never
+    converts silently because layout is the variable under study.
+    """
 
 
 class DeviceError(ReproError):
-    """A simulated oneAPI device or queue was used incorrectly."""
+    """A simulated oneAPI device or queue was used incorrectly.
+
+    Usage: the base class for runtime-simulator misuse; catch it to
+    guard a whole simulated execution.  The more specific
+    :class:`MemoryModelError` and :class:`KernelError` derive from it,
+    so ``except DeviceError`` catches those too.
+    """
 
 
 class MemoryModelError(DeviceError):
-    """A USM allocation or access violated the simulated memory model."""
+    """A USM allocation or access violated the simulated memory model.
+
+    Usage: typically an out-of-range touch, a double free, or use after
+    free on a :class:`~repro.oneapi.memory.UsmAllocation` — the bug is
+    in the calling kernel/driver code, not in the data.
+    """
 
 
 class KernelError(DeviceError):
-    """A kernel submission failed (bad range, unbound buffers, ...)."""
+    """A kernel submission failed (bad range, unbound buffers, ...).
+
+    Usage: raised when a :class:`~repro.oneapi.kernelspec.KernelSpec`
+    is self-inconsistent (negative sizes, span smaller than payload) or
+    a launch is malformed; validate specs once at build time and reuse
+    them, as :func:`repro.oneapi.runtime.build_virtual_push_spec` does.
+    """
 
 
 class FieldError(ReproError):
-    """A field source was evaluated outside its domain of validity."""
+    """A field source was evaluated outside its domain of validity.
+
+    Usage: e.g. the m-dipole series expansion probed beyond its
+    convergence radius; either restrict the sampling region or switch
+    to the closed-form evaluation path.
+    """
 
 
 class SimulationError(ReproError):
-    """A PIC simulation reached an invalid state (NaNs, CFL violation, ...)."""
+    """A PIC simulation reached an invalid state (NaNs, CFL violation, ...).
+
+    Usage: raised by :meth:`repro.pic.simulation.PicSimulation.check_state`
+    and by constructors rejecting unstable setups.  On CFL violations
+    reduce ``dt`` (or use the spectral solver, which has no Courant
+    limit); on NaNs inspect the last stable step's diagnostics.
+    """
+
+
+class TraceError(ReproError):
+    """The observability layer was driven through an invalid transition.
+
+    Usage: unbalanced :meth:`~repro.observability.tracer.Tracer.end_span`
+    calls or a simulated slice ending before it starts.  Prefer the
+    context managers (``tracer.span(...)``,
+    :func:`~repro.observability.tracer.trace_span`) over manual
+    begin/end pairs — they cannot produce this error.
+    """

@@ -1,0 +1,123 @@
+"""Chrome ``trace_event`` JSON export.
+
+Produces the JSON-object flavour of the Trace Event Format (the one
+``chrome://tracing`` and https://ui.perfetto.dev load directly):
+``{"traceEvents": [...], "displayTimeUnit": "ms", ...}``.
+
+Two synthetic processes separate the two clocks:
+
+* **pid 0 — "host (wall clock)"**: the nestable Python spans, instants
+  and counter series, in real microseconds since the tracer's epoch;
+* **pid 1 — "simulated device"**: the cost-model timeline, one thread
+  row per queue, in *simulated* microseconds — this is the row where
+  the paper's effects (slow first launch, NUMA gap) are visible.
+
+Event field set emitted per phase, matching the format spec:
+
+========  =======================================================
+``ph``    required fields
+========  =======================================================
+``"X"``   ``name, cat, ph, ts, dur, pid, tid`` (+ ``args``)
+``"i"``   ``name, cat, ph, ts, pid, tid, s`` (+ ``args``)
+``"C"``   ``name, ph, ts, pid, tid, args`` (one series per key)
+``"M"``   ``name, ph, pid, args`` (process/thread naming)
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .tracer import Tracer
+
+__all__ = ["HOST_PID", "SIM_PID", "chrome_trace_events", "to_chrome_trace",
+           "write_chrome_trace"]
+
+#: Synthetic process id of the host wall-clock rows.
+HOST_PID = 0
+#: Synthetic process id of the simulated-timeline rows.
+SIM_PID = 1
+
+_US = 1.0e6   # seconds -> microseconds (the format's time unit)
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """Flatten a tracer's records into trace_event dictionaries."""
+    events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": HOST_PID,
+         "args": {"name": "host (wall clock)"}},
+        {"name": "process_name", "ph": "M", "pid": SIM_PID,
+         "args": {"name": "simulated device"}},
+        {"name": "thread_name", "ph": "M", "pid": HOST_PID, "tid": 0,
+         "args": {"name": "python"}},
+    ]
+
+    for span in tracer.spans:
+        events.append({
+            "name": span.name, "cat": span.category, "ph": "X",
+            "ts": span.start * _US, "dur": span.duration * _US,
+            "pid": HOST_PID, "tid": 0,
+            "args": dict(span.args, depth=span.depth,
+                         **({"parent": span.parent} if span.parent else {})),
+        })
+
+    for inst in tracer.instants:
+        events.append({
+            "name": inst.name, "cat": inst.category, "ph": "i",
+            "ts": inst.timestamp * _US, "pid": HOST_PID, "tid": 0,
+            "s": "t", "args": dict(inst.args),
+        })
+
+    for sample in tracer.counters:
+        events.append({
+            "name": sample.name, "ph": "C",
+            "ts": sample.timestamp * _US, "pid": HOST_PID, "tid": 0,
+            "args": dict(sample.values),
+        })
+
+    track_tids: Dict[str, int] = {}
+    for sim in tracer.sim_slices:
+        tid = track_tids.get(sim.track)
+        if tid is None:
+            tid = track_tids[sim.track] = len(track_tids)
+            events.append({"name": "thread_name", "ph": "M", "pid": SIM_PID,
+                           "tid": tid, "args": {"name": sim.track}})
+        events.append({
+            "name": sim.name, "cat": "sim", "ph": "X",
+            "ts": sim.start * _US, "dur": sim.duration * _US,
+            "pid": SIM_PID, "tid": tid, "args": dict(sim.args),
+        })
+    return events
+
+
+def to_chrome_trace(tracer: Tracer) -> Dict[str, Any]:
+    """The complete JSON-object-format trace document."""
+    per_kernel = {}
+    for (scope, name), stats in sorted(tracer.kernel_stats.items()):
+        per_kernel.setdefault(name, []).append({
+            "scope": scope,
+            "launches": stats.launches,
+            "items": stats.items,
+            "modelled_seconds": stats.modelled_seconds,
+            "wall_seconds": stats.wall_seconds,
+            "warmup_seconds": stats.warmup_seconds,
+            "bytes_moved": stats.bytes_moved,
+            "remote_bytes": stats.remote_bytes,
+            "cold_pages": stats.cold_pages,
+        })
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.observability",
+            "kernels": per_kernel,
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Serialise the trace document to ``path`` (UTF-8 JSON)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(tracer), handle, indent=1)
+        handle.write("\n")

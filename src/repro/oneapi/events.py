@@ -21,12 +21,17 @@ wall time of the whole submission DAG.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import DeviceError
+from ..observability.tracer import active_tracer
 
 __all__ = ["SimEvent", "Timeline"]
+
+#: Sequence numbers for default timeline labels (trace track names).
+_TIMELINE_SEQ = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -54,8 +59,13 @@ class SimEvent:
 class Timeline:
     """Tracks simulated command scheduling for one queue."""
 
-    def __init__(self, in_order: bool = False) -> None:
+    def __init__(self, in_order: bool = False,
+                 label: Optional[str] = None) -> None:
         self.in_order = bool(in_order)
+        #: Track name under which this timeline's events appear in an
+        #: exported trace (one Perfetto row per timeline).
+        self.label = label if label is not None \
+            else f"timeline-{next(_TIMELINE_SEQ)}"
         self._events: List[SimEvent] = []
         self._last_end = 0.0
 
@@ -70,13 +80,17 @@ class Timeline:
         return max((e.end for e in self._events), default=0.0)
 
     def schedule(self, name: str, duration: float,
-                 depends_on: Optional[Sequence[SimEvent]] = None
+                 depends_on: Optional[Sequence[SimEvent]] = None,
+                 trace_args: Optional[Dict[str, Any]] = None
                  ) -> SimEvent:
         """Place a command of ``duration`` on the timeline.
 
         In-order queues serialize after the previous command;
         out-of-order queues start once all ``depends_on`` events have
-        completed (immediately if there are none).
+        completed (immediately if there are none).  When a tracer is
+        active (:func:`repro.observability.tracer.active_tracer`), the
+        placed interval is reported as a simulated-timeline slice under
+        this timeline's :attr:`label`, annotated with ``trace_args``.
         """
         if duration < 0.0:
             raise DeviceError(f"duration must be >= 0, got {duration!r}")
@@ -88,6 +102,10 @@ class Timeline:
         event = SimEvent(name=name, start=start, end=start + duration)
         self._events.append(event)
         self._last_end = event.end
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.sim_slice(name, event.start, event.end, self.label,
+                             **(trace_args or {}))
         return event
 
     def reset(self) -> None:

@@ -22,6 +22,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ..errors import MemoryModelError
+from ..observability.tracer import active_tracer
 
 __all__ = ["PAGE_SIZE", "UsmKind", "UsmAllocation", "UsmMemoryManager"]
 
@@ -131,10 +132,27 @@ class _Registration:
 
 
 class UsmMemoryManager:
-    """Tracks USM allocations for one simulated device/queue."""
+    """Tracks USM allocations for one simulated device/queue.
+
+    When a tracer is active, every allocation event (``register``,
+    ``virtual``, ``free`` — ``malloc_*`` routes through ``register``)
+    is reported as an instant marker plus a ``usm_allocated_bytes``
+    counter sample, so an exported trace shows the working set's
+    growth next to the kernel timeline.
+    """
 
     def __init__(self) -> None:
         self._by_key: Dict[int, UsmAllocation] = {}
+
+    def _trace(self, op: str, allocation: UsmAllocation) -> None:
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant(f"usm:{op}", "memory",
+                           name=allocation.name, kind=allocation.kind,
+                           nbytes=allocation.nbytes,
+                           backed=allocation.array is not None)
+            tracer.counter("usm_allocated_bytes",
+                           total=self.total_allocated)
 
     def malloc_shared(self, shape, dtype, name: str = "") -> np.ndarray:
         """Allocate a shared USM numpy array and register it."""
@@ -164,6 +182,7 @@ class UsmMemoryManager:
         allocation = UsmAllocation(int(base.nbytes), kind, array=base,
                                    name=name)
         self._by_key[key] = allocation
+        self._trace("register", allocation)
         return allocation
 
     def virtual(self, nbytes: int, kind: str = UsmKind.SHARED,
@@ -171,6 +190,7 @@ class UsmMemoryManager:
         """Create an unbacked allocation (size-only, for pure modelling)."""
         allocation = UsmAllocation(nbytes, kind, array=None, name=name)
         self._by_key[id(allocation)] = allocation
+        self._trace("virtual", allocation)
         return allocation
 
     def allocation_of(self, array: np.ndarray) -> UsmAllocation:
@@ -188,6 +208,7 @@ class UsmMemoryManager:
         for key, value in list(self._by_key.items()):
             if value is allocation:
                 del self._by_key[key]
+                self._trace("free", allocation)
                 return
         raise MemoryModelError(f"allocation {allocation.name!r} is not "
                                "registered with this manager")

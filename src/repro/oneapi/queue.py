@@ -17,11 +17,13 @@ The queue also models the two runtimes the paper compares:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..errors import ConfigurationError, KernelError
 from ..fp import Precision
+from ..observability.tracer import active_tracer
 from .costmodel import CostModel, LaunchTiming
 from .device import DeviceDescriptor, DeviceType
 from .events import SimEvent, Timeline
@@ -34,6 +36,10 @@ __all__ = ["RuntimeConfig", "KernelLaunchRecord", "Queue"]
 
 #: Value of the environment variable the paper sets for NUMA arenas.
 NUMA_DOMAINS = "numa_domains"
+
+#: Sequence numbers distinguishing trace tracks of queues that share a
+#: device (each queue owns one simulated-timeline row in a trace).
+_QUEUE_SEQ = itertools.count()
 
 
 @dataclass
@@ -110,7 +116,9 @@ class Queue:
                 "cost_model was built for a different device")
         self.memory = UsmMemoryManager()
         self.records: List[KernelLaunchRecord] = []
-        self.timeline = Timeline(in_order=self.config.in_order)
+        self.timeline = Timeline(
+            in_order=self.config.in_order,
+            label=f"{device.name} [q{next(_QUEUE_SEQ)}]")
         self._jit_cache: set = set()
         self._topology = ThreadTopology(device, self.config.units,
                                         self.config.threads_per_unit)
@@ -163,19 +171,45 @@ class Queue:
         """
         if n_items < 0:
             raise KernelError(f"n_items must be >= 0, got {n_items}")
+        tracer = active_tracer()
         schedule = self._scheduler.schedule(n_items, self._topology)
         jit_done = (self.config.runtime == "openmp"
                     or spec.name in self._jit_cache)
         timing = self.cost_model.time_launch(
             spec, schedule, precision=precision, jit_compiled=jit_done)
         self._jit_cache.add(spec.name)
+        wall_seconds = 0.0
         if kernel is not None:
-            kernel()
+            if tracer is not None:
+                with tracer.span(f"kernel:{spec.name}", "kernel",
+                                 n_items=n_items) as span:
+                    kernel()
+                wall_seconds = span.duration
+            else:
+                kernel()
+        trace_args = None
+        if tracer is not None:
+            trace_args = {
+                "n_items": n_items,
+                "precision": precision.value,
+                "bound": timing.bound,
+                "memory_seconds": timing.memory_seconds,
+                "compute_seconds": timing.compute_seconds,
+                "scheduling_seconds": timing.scheduling_seconds,
+                "jit_seconds": timing.jit_seconds,
+                "cold_page_seconds": timing.cold_page_seconds,
+                "cold_pages": timing.cold_pages,
+                "remote_bytes": timing.remote_bytes,
+            }
         event = self.timeline.schedule(spec.name, timing.total_seconds,
-                                       depends_on=depends_on)
+                                       depends_on=depends_on,
+                                       trace_args=trace_args)
         record = KernelLaunchRecord(spec.name, n_items, precision, timing,
                                     event=event)
         self.records.append(record)
+        if tracer is not None:
+            tracer.kernel_launch(spec.name, n_items, timing,
+                                 wall_seconds=wall_seconds)
         return record
 
     def submit(self, n_items: int, spec: KernelSpec,
@@ -198,6 +232,9 @@ class Queue:
             transfer = moved / self.device.host_transfer_bandwidth
             record.timing.transfer_seconds = transfer
             record.timing.total_seconds += transfer
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.transfer(spec.name, transfer, moved)
         return record
 
     def create_buffer(self, data, name: str = ""):

@@ -26,6 +26,7 @@ from ..errors import ConfigurationError
 from ..fields.base import FieldSource
 from ..fields.precalculated import PrecalculatedField
 from ..fp import Precision
+from ..observability.tracer import trace_span
 from ..particles.ensemble import Layout, ParticleEnsemble
 from .kernelspec import KernelSpec, MemoryStream, StreamKind
 from .memory import UsmMemoryManager
@@ -221,21 +222,31 @@ class PushRunner:
                 field_flops=source.flops_per_evaluation)
 
     def step(self) -> KernelLaunchRecord:
-        """One timed push step (plus the untimed field refresh if any)."""
-        if self.precalc is not None:
-            self.precalc.refresh(self.source, self.ensemble, self.time)
+        """One timed push step (plus the untimed field refresh if any).
 
-            def kernel() -> None:
-                boris_push_precalculated(self.ensemble, self.precalc, self.dt)
-        else:
-            time_now = self.time
+        Under an active tracer the step appears as a ``runner``-category
+        span, with the untimed field refresh as a nested child — making
+        visible the host work the simulated clock deliberately excludes.
+        """
+        with trace_span(f"push-step:{self.scenario}", "runner",
+                        step_time=self.time):
+            if self.precalc is not None:
+                with trace_span("field-refresh", "runner"):
+                    self.precalc.refresh(self.source, self.ensemble,
+                                         self.time)
 
-            def kernel() -> None:
-                boris_push_analytical(self.ensemble, self.source,
-                                      time_now, self.dt)
-        record = self.queue.parallel_for(self.ensemble.size, self.spec,
-                                         kernel=kernel,
-                                         precision=self.ensemble.precision)
+                def kernel() -> None:
+                    boris_push_precalculated(self.ensemble, self.precalc,
+                                             self.dt)
+            else:
+                time_now = self.time
+
+                def kernel() -> None:
+                    boris_push_analytical(self.ensemble, self.source,
+                                          time_now, self.dt)
+            record = self.queue.parallel_for(
+                self.ensemble.size, self.spec, kernel=kernel,
+                precision=self.ensemble.precision)
         self.time += self.dt
         return record
 

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..observability.tracer import active_tracer
 from .device import DeviceDescriptor
 
 __all__ = ["ThreadTopology", "Chunk", "Schedule", "StaticScheduler",
@@ -41,6 +42,11 @@ class ThreadTopology:
     socket 0's cores before socket 1's, each with both hyperthreads —
     the binding the paper describes for its scaling study).
     """
+
+    #: True on per-domain views used inside the NUMA-arena scheduler;
+    #: schedules over subset views are not reported to the tracer
+    #: (their chunks reappear, renumbered, in the enclosing schedule).
+    is_subset = False
 
     def __init__(self, device: DeviceDescriptor, units: Optional[int] = None,
                  threads_per_unit: Optional[int] = None) -> None:
@@ -118,6 +124,14 @@ class Schedule:
         if covered != n_items:
             raise ConfigurationError(
                 f"schedule covers {covered} items, expected {n_items}")
+        tracer = active_tracer()
+        if tracer is not None and not topology.is_subset:
+            tracer.instant("schedule", "scheduler",
+                           n_items=self.n_items, n_chunks=len(chunks),
+                           n_threads=topology.n_threads,
+                           dynamic=self.dynamic,
+                           max_chunks_on_a_thread=
+                           self.max_chunks_on_a_thread())
 
     def items_per_thread(self) -> Dict[int, int]:
         """Total work items executed by each thread."""
@@ -288,6 +302,8 @@ class _SubsetTopology(ThreadTopology):
     Thread ids are renumbered 0..len(subset)-1; used internally by the
     arena scheduler to run the dynamic scheduler inside one domain.
     """
+
+    is_subset = True
 
     def __init__(self, parent: ThreadTopology, threads: List[int]) -> None:
         self._parent = parent

@@ -24,6 +24,7 @@ from ..core.pushers import MomentumPusher
 from ..errors import SimulationError
 from ..fields.grid import YeeGrid
 from ..fields.interpolation import Shape, interpolate_from_yee_grid
+from ..observability.tracer import trace_span
 from ..particles.ensemble import ParticleEnsemble
 from .deposition import deposit_current_direct, deposit_current_esirkepov
 from .fdtd import FdtdSolver
@@ -100,23 +101,36 @@ class PicSimulation:
         ensemble.set_positions(wrapped)
 
     def step(self) -> None:
-        """Advance fields and particles by one time step."""
+        """Advance fields and particles by one time step.
+
+        Under an active tracer each of the four PIC stages
+        (interpolate, push, deposit, field solve) is recorded as a
+        nested wall-clock span — the per-stage breakdown a VTune
+        timeline would show for the real Hi-Chi loop.
+        """
         grid = self.grid
-        grid.clear_currents()
-        for ensemble in self.ensembles:
-            fields = interpolate_from_yee_grid(
-                grid, ensemble.positions(), self.interpolation)
-            old_positions = ensemble.positions()
-            self.pusher.push(ensemble, fields, self.dt)
-            if self.deposition == "esirkepov":
-                deposit_current_esirkepov(grid, ensemble, old_positions,
-                                          self.dt,
-                                          shape=self.interpolation)
-            elif self.deposition == "direct":
-                deposit_current_direct(grid, ensemble,
-                                       shape=self.interpolation)
-            self._wrap(ensemble)
-        self.solver.step()
+        with trace_span("pic-step", "pic", step=self.step_count):
+            grid.clear_currents()
+            for ensemble in self.ensembles:
+                with trace_span("interpolate", "pic",
+                                n_particles=ensemble.size):
+                    fields = interpolate_from_yee_grid(
+                        grid, ensemble.positions(), self.interpolation)
+                old_positions = ensemble.positions()
+                with trace_span("push", "pic",
+                                n_particles=ensemble.size):
+                    self.pusher.push(ensemble, fields, self.dt)
+                with trace_span(f"deposit:{self.deposition}", "pic"):
+                    if self.deposition == "esirkepov":
+                        deposit_current_esirkepov(grid, ensemble,
+                                                  old_positions, self.dt,
+                                                  shape=self.interpolation)
+                    elif self.deposition == "direct":
+                        deposit_current_direct(grid, ensemble,
+                                               shape=self.interpolation)
+                self._wrap(ensemble)
+            with trace_span("field-solve", "pic"):
+                self.solver.step()
         self.step_count += 1
 
     def run(self, steps: int,

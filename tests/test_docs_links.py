@@ -1,0 +1,45 @@
+"""Docs link checker: every relative markdown link must resolve.
+
+Runs in tier-1 so broken cross-references between README.md and the
+files under docs/ fail the build, not a reader.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose relative links are checked.
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md")))
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that point off-repo and are not checked here.
+EXTERNAL = ("http://", "https://", "mailto:", "chrome://")
+
+
+def relative_links(path):
+    links = []
+    for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        links.append(target.split("#", 1)[0])   # drop the fragment
+    return links
+
+
+def test_doc_files_exist():
+    assert REPO_ROOT / "README.md" in DOC_FILES
+    names = {p.name for p in DOC_FILES}
+    assert {"ARCHITECTURE.md", "PROFILING.md"} <= names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(doc):
+    broken = [target for target in relative_links(doc)
+              if not (doc.parent / target).exists()]
+    assert not broken, (f"{doc.relative_to(REPO_ROOT)} has broken "
+                        f"relative links: {broken}")
