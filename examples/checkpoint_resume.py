@@ -1,8 +1,13 @@
-"""Checkpoint and resume a long push (and a PIC field state).
+"""Checkpoint and resume a long push (and a whole PIC simulation).
 
 Long laser-plasma runs checkpoint their state; this example shows the
-library's ``.npz`` checkpointing round trip and verifies that a resumed
-simulation reproduces the uninterrupted one bit for bit.
+library's *step-granular* checkpoint API — a
+:class:`repro.resilience.Checkpointer` writing ``.npz`` checkpoints at
+a fixed step cadence — and verifies that a run resumed from the latest
+checkpoint reproduces the uninterrupted one to machine precision
+(bit for bit, in fact).  The same guarantee is what lets the
+resilience layer's device-loss recovery replay from a checkpoint (see
+``docs/RESILIENCE.md``).
 
 Run:  python examples/checkpoint_resume.py
 """
@@ -15,40 +20,89 @@ import numpy as np
 
 import repro
 from repro import io
-from repro.fields import YeeGrid
+from repro.fields import UniformField, YeeGrid
+from repro.pic import PicSimulation, max_stable_dt
+from repro.resilience import Checkpointer
 
 
-def push_with_checkpoint(workdir: Path) -> None:
+def push_with_checkpoints(workdir: Path) -> None:
+    """A push loop checkpointed every 10 steps, then resumed from disk."""
     wave = repro.MDipoleWave()
     dt = 2.0 * math.pi / wave.omega / 100.0
     total_steps = 60
-    half = total_steps // 2
 
-    # Reference: a run paused at the halfway point and continued in
-    # memory.  (Pausing itself changes nothing; only the time-origin
-    # arithmetic must match, so we compare resume-from-disk against
-    # resume-from-memory.)
+    def drive(ensemble, from_step, to_step, checkpointer=None):
+        # One advance() call per step, with the evaluation time
+        # recomputed as (step * dt) each time — the schedule a
+        # checkpointed driver replays bit-identically, because a
+        # restored run re-derives exactly the same products.
+        for step in range(from_step + 1, to_step + 1):
+            repro.advance(ensemble, wave, dt, 1,
+                          start_time=(step - 1) * dt)
+            if checkpointer is not None:
+                checkpointer.maybe_save_push(step, ensemble, step * dt)
+
+    # The uninterrupted reference run.
     reference = repro.paper_benchmark_ensemble(5_000, seed=42)
     repro.setup_leapfrog(reference, wave, dt)
-    repro.advance(reference, wave, dt, half)
+    drive(reference, 0, total_steps)
 
-    # Checkpoint the same state to disk ...
-    checkpoint = workdir / "electrons.npz"
-    io.save_ensemble(checkpoint, reference)
-    print(f"saved {reference.size} particles "
-          f"({checkpoint.stat().st_size / 1024:.0f} KiB compressed)")
+    # The same run, checkpointing as it goes — "crashing" at step 55,
+    # after the step-50 checkpoint but before the end.
+    checkpointer = Checkpointer(workdir / "push", every=10, keep=3)
+    ensemble = repro.paper_benchmark_ensemble(5_000, seed=42)
+    repro.setup_leapfrog(ensemble, wave, dt)
+    drive(ensemble, 0, 55, checkpointer)
+    print(f"checkpointed steps {checkpointer.steps_on_disk()} "
+          f"(keep={checkpointer.keep} of every={checkpointer.every})")
 
-    # ... continue both, one from memory and one from the file.
-    repro.advance(reference, wave, dt, total_steps - half,
-                  start_time=half * dt)
-    resumed = io.load_ensemble(checkpoint)
-    repro.advance(resumed, wave, dt, total_steps - half,
-                  start_time=half * dt)
+    # ... now pretend the process died and resume from the latest file.
+    step, time, resumed = checkpointer.load_push()
+    assert time == step * dt    # the saved clock restores exactly
+    print(f"restored step {step} at t = {time:.3e} s")
+    drive(resumed, step, total_steps)
 
     exact = np.array_equal(resumed.positions(), reference.positions()) \
         and np.array_equal(resumed.momenta(), reference.momenta())
-    print(f"resumed-from-disk matches resumed-from-memory bit-for-bit: "
+    print(f"resumed-from-disk matches uninterrupted run bit-for-bit: "
           f"{exact}")
+    assert exact, "checkpoint resume drifted from the reference run"
+
+
+def pic_with_checkpoints(workdir: Path) -> None:
+    """A whole PIC simulation checkpointed via run(checkpointer=...)."""
+    def build():
+        grid = YeeGrid((0.0, 0.0, 0.0), (1.0e-3,) * 3, (8, 8, 8))
+        grid.fill_from_source(UniformField(b=(0.0, 0.0, 1.0e4)), 0.0)
+        rng = np.random.default_rng(7)
+        n = 64
+        positions = rng.random((n, 3)) * 8.0e-3
+        momenta = rng.standard_normal((n, 3)) * 1.0e-23
+        ensemble = repro.ParticleEnsemble.from_arrays(positions, momenta)
+        dt = max_stable_dt(grid.spacing, 0.9)
+        return PicSimulation(grid, ensemble, dt, deposition="direct")
+
+    total_steps = 12
+    reference = build()
+    reference.run(total_steps)
+
+    checkpointer = Checkpointer(workdir / "pic", every=4, keep=2)
+    interrupted = build()
+    interrupted.run(8, checkpointer=checkpointer)   # "crash" after step 8
+
+    resumed = checkpointer.load_simulation()
+    print(f"restored PIC simulation at step {resumed.step_count}, "
+          f"t = {resumed.time:.3e} s")
+    resumed.run(total_steps - resumed.step_count)
+
+    exact = all(
+        np.array_equal(resumed.grid.fields[c], reference.grid.fields[c])
+        for c in reference.grid.fields)
+    exact = exact and np.array_equal(resumed.ensembles[0].positions(),
+                                     reference.ensembles[0].positions())
+    print(f"resumed PIC run matches uninterrupted fields and particles "
+          f"bit-for-bit: {exact}")
+    assert exact, "PIC checkpoint resume drifted from the reference run"
 
 
 def grid_round_trip(workdir: Path) -> None:
@@ -67,7 +121,8 @@ def grid_round_trip(workdir: Path) -> None:
 def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         workdir = Path(tmp)
-        push_with_checkpoint(workdir)
+        push_with_checkpoints(workdir)
+        pic_with_checkpoints(workdir)
         grid_round_trip(workdir)
 
 

@@ -49,7 +49,10 @@ from .errors import (
     LayoutError,
     DeviceError,
     MemoryModelError,
+    AllocationFailedError,
     KernelError,
+    DeviceLostError,
+    LaunchTimeoutError,
     FieldError,
     SimulationError,
     TraceError,
@@ -95,6 +98,15 @@ from .observability import (
     kernel_summary,
     format_kernel_summary,
 )
+from .resilience import (
+    Checkpointer,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    active_fault_injector,
+    fault_injection,
+    named_plan,
+)
 from .core import (
     BorisPusher,
     VayPusher,
@@ -125,7 +137,10 @@ __all__ = [
     "LayoutError",
     "DeviceError",
     "MemoryModelError",
+    "AllocationFailedError",
     "KernelError",
+    "DeviceLostError",
+    "LaunchTimeoutError",
     "FieldError",
     "SimulationError",
     "TraceError",
@@ -175,5 +190,12 @@ __all__ = [
     "write_chrome_trace",
     "kernel_summary",
     "format_kernel_summary",
+    "Checkpointer",
+    "FaultPlan",
+    "FaultRule",
+    "RetryPolicy",
+    "active_fault_injector",
+    "fault_injection",
+    "named_plan",
     "__version__",
 ]

@@ -46,6 +46,7 @@ from ..oneapi.device import DeviceDescriptor
 from ..oneapi.queue import Queue, RuntimeConfig
 from ..oneapi.runtime import build_virtual_push_spec
 from ..particles.ensemble import Layout
+from ..resilience.recovery import allocate_with_retry, launch_with_retry
 from .calibration import cost_model_for, device_by_name, xeon_8260l_node
 from .metrics import nsps_from_records
 from .scenarios import (BenchmarkCase, CPU_PARALLELIZATIONS,
@@ -121,10 +122,18 @@ def model_push_nsps(case: BenchmarkCase,
                       cost_model_for(device))
         field_flops = (MDipoleWave.flops_per_evaluation
                        if case.scenario == "analytical" else 0.0)
-        spec = build_virtual_push_spec(n, case.layout, case.precision,
-                                       case.scenario, queue.memory,
-                                       field_flops=field_flops)
-        records = [queue.parallel_for(n, spec, precision=case.precision)
+        # spec construction registers USM allocations, so under
+        # --fault-plan it can hit an injected alloc-failure too
+        spec = allocate_with_retry(
+            lambda: build_virtual_push_spec(n, case.layout, case.precision,
+                                            case.scenario, queue.memory,
+                                            field_flops=field_flops),
+            queue)
+        # launch_with_retry is a 1:1 parallel_for when no fault injector
+        # is installed; under --fault-plan it retries transient faults,
+        # charging the backoff to the simulated timeline (and NSPS).
+        records = [launch_with_retry(queue, n, spec,
+                                     precision=case.precision)
                    for _ in range(steps)]
         steady = nsps_from_records(records)
     return ModelResult(

@@ -20,6 +20,15 @@ accepted before or after the command:
 Both spellings write a Chrome ``trace_event`` file (open it in
 ``chrome://tracing`` or https://ui.perfetto.dev) and print the
 per-kernel summary table; see ``docs/PROFILING.md``.
+
+Fault injection (see ``docs/RESILIENCE.md``) follows the same pattern:
+``--fault-plan PLAN --fault-seed N`` runs any command with the named
+deterministic fault plan installed, and ``python -m repro faults``
+drives a resilient push directly::
+
+    python -m repro faults --plan device-loss --steps 20
+    python -m repro faults --self-check        # chaos seed matrix
+    python -m repro table2 --fault-plan transient --fault-seed 7
 """
 
 from __future__ import annotations
@@ -185,11 +194,61 @@ def _cmd_devices(args: argparse.Namespace) -> None:
         rows, "Simulated devices (paper Table 1)"))
 
 
+def _cmd_faults(args: argparse.Namespace) -> None:
+    from .bench import paper_time_step, paper_wave
+    from .bench.scenarios import paper_ensemble
+    from .bench.metrics import nsps_from_records
+    from .resilience import (Checkpointer, ResilientPushRunner,
+                             chaos_self_check, fault_injection, named_plan)
+    import tempfile
+
+    if args.self_check:
+        results = chaos_self_check(seeds=tuple(range(args.check_seeds)),
+                                   steps=args.steps)
+        rows = [[r.plan, r.seed, r.outcome, r.faults, r.retries,
+                 r.devices_lost]
+                for r in results.values()]
+        print(format_table(
+            ["plan", "seed", "outcome", "faults", "retries", "lost"],
+            rows, "Chaos self-check — every plan x seed matrix"))
+        survived = sum(r.survived for r in results.values())
+        print(f"{survived}/{len(results)} cells completed all steps; "
+              f"every cell stayed within the documented error taxonomy "
+              f"and kept finite physics")
+        return
+
+    ensemble = paper_ensemble(args.fault_particles, Layout.SOA,
+                              Precision.SINGLE)
+    with tempfile.TemporaryDirectory() as scratch:
+        checkpointer = Checkpointer(scratch, every=args.checkpoint_every)
+        with fault_injection(named_plan(args.plan), seed=args.fault_seed):
+            runner = ResilientPushRunner(
+                ensemble, "precalculated", paper_wave(), paper_time_step(),
+                checkpointer=checkpointer)
+            records, report = runner.run(args.steps)
+    print(report.summary())
+    if len(records) >= 3:
+        print(f"  NSPS with recovery cost folded in: "
+              f"{nsps_from_records(records):.2f}")
+
+
 def _add_trace_flag(parser: argparse.ArgumentParser, default) -> None:
     parser.add_argument("--trace", metavar="OUT.json", default=default,
                         help="run the command under the tracer and write "
                              "a Chrome trace_event JSON (open in "
                              "chrome://tracing or Perfetto)")
+
+
+def _add_fault_flags(parser: argparse.ArgumentParser, default) -> None:
+    from .resilience.plans import PLAN_NAMES
+    parser.add_argument("--fault-plan", choices=PLAN_NAMES, default=default,
+                        help="run the command with this deterministic "
+                             "fault plan installed (see docs/RESILIENCE.md)")
+    parser.add_argument("--fault-seed", type=int,
+                        default=0 if default is None else default,
+                        help="seed of the fault injector's RNG streams "
+                             "(same plan + seed + workload => identical "
+                             "faults; default 0)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -202,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="modelled particle count (default: the "
                              "paper's 1e7)")
     _add_trace_flag(parser, default=None)
+    _add_fault_flags(parser, default=None)
     sub = parser.add_subparsers(dest="command", required=True)
     commands = [
         sub.add_parser("table2", help="Table 2: CPU NSPS"),
@@ -220,6 +280,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="wave power in PW (paper: 0.1)")
     escape.add_argument("--escape-particles", type=int, default=5_000)
     escape.add_argument("--cycles", type=int, default=5)
+    faults = sub.add_parser(
+        "faults",
+        help="drive a resilient push under a named fault plan, or run "
+             "the chaos self-check matrix")
+    from .resilience.plans import PLAN_NAMES
+    faults.add_argument("--plan", choices=PLAN_NAMES, default="default",
+                        help="which named fault plan to inject "
+                             "(default: 'default')")
+    faults.add_argument("--steps", type=int, default=40,
+                        help="push steps to run (default 40)")
+    faults.add_argument("--fault-particles", type=int, default=4096,
+                        help="ensemble size for the resilient push "
+                             "(default 4096; physics-carrying, so keep "
+                             "it modest)")
+    faults.add_argument("--checkpoint-every", type=int, default=5,
+                        help="step-granular checkpoint cadence (default 5)")
+    faults.add_argument("--self-check", action="store_true",
+                        help="run every plan x seed chaos cell and "
+                             "verify nothing escapes the documented "
+                             "error taxonomy")
+    faults.add_argument("--check-seeds", type=int, default=3,
+                        help="seeds per plan for --self-check (default 3)")
     commands += [
         measure,
         escape,
@@ -228,11 +310,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_parser("validate",
                        help="check every paper claim against the model"),
         sub.add_parser("devices", help="list simulated devices"),
+        faults,
     ]
     for command in commands:
         # accept --trace after the command too; SUPPRESS keeps a value
         # given before the command from being clobbered by the default
         _add_trace_flag(command, default=argparse.SUPPRESS)
+        _add_fault_flags(command, default=argparse.SUPPRESS)
     trace = sub.add_parser(
         "trace",
         help="run a benchmark command under the tracer and write a "
@@ -255,6 +339,7 @@ _COMMANDS = {
     "roofline": _cmd_roofline,
     "validate": _cmd_validate,
     "devices": _cmd_devices,
+    "faults": _cmd_faults,
 }
 
 #: Commands `repro trace CMD` accepts: every runner whose only knob is
@@ -296,10 +381,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not os.path.isdir(parent):
             parser.error(f"--trace/--out: directory {parent!r} does not "
                          f"exist")
-    if out is not None:
-        _run_traced(command, args, out)
+    def dispatch() -> None:
+        if out is not None:
+            _run_traced(command, args, out)
+        else:
+            _COMMANDS[command](args)
+
+    plan_name = getattr(args, "fault_plan", None)
+    if plan_name is not None and command != "faults":
+        # the faults command installs its own injector from --plan
+        from .resilience import fault_injection, named_plan
+        with fault_injection(named_plan(plan_name),
+                             seed=getattr(args, "fault_seed", 0)):
+            dispatch()
     else:
-        _COMMANDS[command](args)
+        dispatch()
     return 0
 
 

@@ -3,6 +3,29 @@
 Every error raised deliberately by the library derives from
 :class:`ReproError`, so callers can catch library failures without
 masking programming errors such as :class:`TypeError`.
+
+The full catch hierarchy::
+
+    ReproError
+    ├── ConfigurationError
+    ├── LayoutError
+    ├── DeviceError
+    │   ├── MemoryModelError
+    │   │   └── AllocationFailedError
+    │   ├── KernelError
+    │   ├── DeviceLostError
+    │   └── LaunchTimeoutError
+    ├── FieldError
+    ├── SimulationError
+    └── TraceError
+
+The three leaves under :class:`DeviceError` added for the resilience
+layer (:mod:`repro.resilience`) split device failures by recovery
+semantics: :class:`AllocationFailedError` and
+:class:`LaunchTimeoutError` are *transient* (a bounded retry with
+backoff can succeed), while :class:`DeviceLostError` is *fatal to the
+device* (recovery means failing over to the next device in the
+fallback chain and restoring from a checkpoint).
 """
 
 from __future__ import annotations
@@ -61,6 +84,18 @@ class MemoryModelError(DeviceError):
     """
 
 
+class AllocationFailedError(MemoryModelError):
+    """A simulated USM allocation could not be satisfied.
+
+    Usage: raised by :class:`~repro.oneapi.memory.UsmMemoryManager`
+    when the (possibly fault-injected) allocator reports exhaustion.
+    Transient by contract: freeing memory or simply retrying after a
+    backoff (see :class:`~repro.resilience.RetryPolicy`) may succeed,
+    unlike the other :class:`MemoryModelError` cases, which are caller
+    bugs.
+    """
+
+
 class KernelError(DeviceError):
     """A kernel submission failed (bad range, unbound buffers, ...).
 
@@ -68,6 +103,30 @@ class KernelError(DeviceError):
     is self-inconsistent (negative sizes, span smaller than payload) or
     a launch is malformed; validate specs once at build time and reuse
     them, as :func:`repro.oneapi.runtime.build_virtual_push_spec` does.
+    """
+
+
+class DeviceLostError(DeviceError):
+    """The simulated device died mid-run (reset, hang, hot-unplug).
+
+    Usage: mirrors ``sycl::errc::device_lost`` / ``CL_DEVICE_LOST``.
+    The device is gone for the rest of the process: retrying on the
+    same queue cannot succeed.  Recover by failing over to the next
+    device of a :class:`~repro.resilience.FallbackChain` and restoring
+    particle state from the last checkpoint
+    (:class:`~repro.resilience.Checkpointer`).
+    """
+
+
+class LaunchTimeoutError(DeviceError):
+    """A kernel launch exceeded the watchdog timeout and was killed.
+
+    Usage: raised when a (fault-injected) hung launch runs past
+    :class:`~repro.resilience.Watchdog` seconds of simulated time.
+    Transient: the watchdog charges the timeout to the simulated
+    timeline and a bounded retry usually succeeds; repeated timeouts
+    escalate to :class:`DeviceLostError` semantics via the retry
+    policy's attempt bound.
     """
 
 

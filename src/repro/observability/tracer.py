@@ -235,6 +235,19 @@ class Tracer:
         self.instant(f"transfer:{name}", "memory",
                      seconds=seconds, bytes=nbytes)
 
+    # -- resilience events -----------------------------------------------
+
+    def fault(self, kind: str, /, **args: Any) -> None:
+        """Report one injected fault (an instant in the ``fault``
+        category; ``args`` carry the injector's audit fields)."""
+        self.instant(f"fault:{kind}", "fault", **args)
+
+    def recovery(self, action: str, /, **args: Any) -> None:
+        """Report one recovery action (retry, scrub, watchdog giveup,
+        checkpoint, restore, device fallback) as a ``recovery``-category
+        instant."""
+        self.instant(f"recovery:{action}", "recovery", **args)
+
 
 # -- the process-wide hook --------------------------------------------------
 

@@ -66,6 +66,11 @@ class LaunchTiming:
     launch_overhead_seconds: float = 0.0
     #: Host<->device copy time for buffer/accessor submissions.
     transfer_seconds: float = 0.0
+    #: Extra time from an injected transient slowdown of this launch.
+    slowdown_seconds: float = 0.0
+    #: Backoff + watchdog time folded in by the recovery layer when
+    #: earlier attempts of this launch failed (see repro.resilience).
+    recovery_seconds: float = 0.0
     #: DRAM traffic actually moved [bytes], all domains.
     bytes_moved: float = 0.0
     #: Bytes that crossed the NUMA interconnect.

@@ -12,6 +12,12 @@ the cost model charges against the interconnect.
 Allocations can be *backed* (wrapping a real numpy array, used when the
 kernels actually run) or *virtual* (size only, used when modelling the
 paper's 1e7-particle working set without allocating 720 MB).
+
+The resilience layer hooks in at two points (both no-ops unless a
+:func:`~repro.resilience.faults.active_fault_injector` is installed):
+adopting a *new* allocation may be refused
+(:class:`~repro.errors.AllocationFailedError`), and an allocation can
+be *poisoned* — reads fail until the recovery layer scrubs it.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import numpy as np
 
 from ..errors import MemoryModelError
 from ..observability.tracer import active_tracer
+from ..resilience.faults import active_fault_injector
 
 __all__ = ["PAGE_SIZE", "UsmKind", "UsmAllocation", "UsmMemoryManager"]
 
@@ -61,6 +68,9 @@ class UsmAllocation:
         self.name = name or (f"usm-{id(self):x}" if array is None
                              else f"usm-array-{id(array):x}")
         self.page_domains = np.full(self.n_pages, -1, dtype=np.int16)
+        #: Set by fault injection; a poisoned allocation fails the
+        #: queue's pre-launch read check until :meth:`scrub` clears it.
+        self.poisoned = False
 
     @property
     def n_pages(self) -> int:
@@ -125,6 +135,14 @@ class UsmAllocation:
         """Forget all first-touch assignments (e.g. after a free+realloc)."""
         self.page_domains[:] = -1
 
+    def poison(self) -> None:
+        """Mark the allocation corrupted (fault-injection entry point)."""
+        self.poisoned = True
+
+    def scrub(self) -> None:
+        """Repair a poisoned allocation (recovery entry point)."""
+        self.poisoned = False
+
 
 @dataclass
 class _Registration:
@@ -179,6 +197,9 @@ class UsmMemoryManager:
         existing = self._by_key.get(key)
         if existing is not None:
             return existing
+        injector = active_fault_injector()
+        if injector is not None:
+            injector.on_alloc(name, int(base.nbytes))
         allocation = UsmAllocation(int(base.nbytes), kind, array=base,
                                    name=name)
         self._by_key[key] = allocation
@@ -188,6 +209,9 @@ class UsmMemoryManager:
     def virtual(self, nbytes: int, kind: str = UsmKind.SHARED,
                 name: str = "") -> UsmAllocation:
         """Create an unbacked allocation (size-only, for pure modelling)."""
+        injector = active_fault_injector()
+        if injector is not None:
+            injector.on_alloc(name, int(nbytes))
         allocation = UsmAllocation(nbytes, kind, array=None, name=name)
         self._by_key[id(allocation)] = allocation
         self._trace("virtual", allocation)

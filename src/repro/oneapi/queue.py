@@ -24,6 +24,7 @@ from typing import Callable, List, Optional
 from ..errors import ConfigurationError, KernelError
 from ..fp import Precision
 from ..observability.tracer import active_tracer
+from ..resilience.faults import active_fault_injector
 from .costmodel import CostModel, LaunchTiming
 from .device import DeviceDescriptor, DeviceType
 from .events import SimEvent, Timeline
@@ -172,12 +173,29 @@ class Queue:
         if n_items < 0:
             raise KernelError(f"n_items must be >= 0, got {n_items}")
         tracer = active_tracer()
+        injector = active_fault_injector()
+        if injector is not None:
+            # May fail the submit, hang the launch, or poison a USM
+            # allocation feeding it; all raise *before* the kernel
+            # body runs, so a failed launch never advances physics.
+            injector.on_launch(self.device.name, spec)
+            injector.check_readable(spec)
         schedule = self._scheduler.schedule(n_items, self._topology)
         jit_done = (self.config.runtime == "openmp"
                     or spec.name in self._jit_cache)
+        if not jit_done and injector is not None:
+            # A JIT failure leaves the cache cold: the retry compiles
+            # (and is charged for) the kernel again.
+            injector.on_jit(spec.name, self.device.name)
         timing = self.cost_model.time_launch(
             spec, schedule, precision=precision, jit_compiled=jit_done)
         self._jit_cache.add(spec.name)
+        if injector is not None:
+            factor = injector.launch_slowdown(self.device.name, spec.name)
+            if factor is not None:
+                slowdown = (factor - 1.0) * timing.total_seconds
+                timing.slowdown_seconds = slowdown
+                timing.total_seconds += slowdown
         wall_seconds = 0.0
         if kernel is not None:
             if tracer is not None:
@@ -197,6 +215,7 @@ class Queue:
                 "compute_seconds": timing.compute_seconds,
                 "scheduling_seconds": timing.scheduling_seconds,
                 "jit_seconds": timing.jit_seconds,
+                "slowdown_seconds": timing.slowdown_seconds,
                 "cold_page_seconds": timing.cold_page_seconds,
                 "cold_pages": timing.cold_pages,
                 "remote_bytes": timing.remote_bytes,

@@ -27,6 +27,7 @@ from ..fields.base import FieldSource
 from ..fields.precalculated import PrecalculatedField
 from ..fp import Precision
 from ..observability.tracer import trace_span
+from ..resilience.faults import active_fault_injector
 from ..particles.ensemble import Layout, ParticleEnsemble
 from .kernelspec import KernelSpec, MemoryStream, StreamKind
 from .memory import UsmMemoryManager
@@ -227,7 +228,15 @@ class PushRunner:
         Under an active tracer the step appears as a ``runner``-category
         span, with the untimed field refresh as a nested child — making
         visible the host work the simulated clock deliberately excludes.
+
+        Under an active fault injector the step is a device-loss
+        opportunity: the injector may kill the whole device here
+        (:class:`~repro.errors.DeviceLostError`), *before* any particle
+        state changes, so a fallback runner can resume cleanly.
         """
+        injector = active_fault_injector()
+        if injector is not None:
+            injector.on_device_step(self.queue.device.name)
         with trace_span(f"push-step:{self.scenario}", "runner",
                         step_time=self.time):
             if self.precalc is not None:

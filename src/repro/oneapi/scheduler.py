@@ -243,7 +243,14 @@ class DynamicScheduler(Scheduler):
     def schedule(self, n_items: int, topology: ThreadTopology) -> Schedule:
         if n_items < 0:
             raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
-        grain = self._grain(n_items, topology.n_threads)
+        from ..resilience.faults import active_fault_injector
+        injector = active_fault_injector()
+        n_threads = topology.n_threads
+        if injector is not None and injector.scheduler_imbalance():
+            # Injected imbalance: half the worker threads stall for
+            # this launch, so the survivors absorb the whole deal.
+            n_threads = max(1, n_threads // 2)
+        grain = self._grain(n_items, n_threads)
         starts = list(range(0, n_items, grain))
         # Threads claim grains as they finish the previous one; with
         # uniform per-item cost this is a balanced random deal of the
@@ -253,7 +260,7 @@ class DynamicScheduler(Scheduler):
         for order, grain_index in enumerate(deal):
             start = starts[grain_index]
             end = min(start + grain, n_items)
-            thread = order % topology.n_threads
+            thread = order % n_threads
             chunks.append(Chunk(start, end, thread))
         return Schedule(chunks, topology, n_items, dynamic=True)
 

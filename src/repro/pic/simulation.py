@@ -85,6 +85,9 @@ class PicSimulation:
             raise SimulationError(
                 f"field_solver must be 'fdtd' or 'spectral', "
                 f"got {field_solver!r}")
+        #: Which Maxwell-solver family runs ("fdtd" or "spectral");
+        #: checkpoints record it so restore rebuilds the same solver.
+        self.solver_kind = field_solver
         self.dt = float(dt)
         self.pusher = pusher if pusher is not None else BorisPusher()
         self.deposition = deposition
@@ -135,13 +138,16 @@ class PicSimulation:
 
     def run(self, steps: int,
             callback: Optional[Callable[["PicSimulation"], None]] = None,
-            energy_history=None) -> None:
+            energy_history=None, checkpointer=None) -> None:
         """Advance ``steps`` steps.
 
         ``callback(simulation)`` fires after every step;
         ``energy_history`` (an
         :class:`~repro.pic.diagnostics.EnergyHistory`) is sampled after
         every step as well, including an initial sample at the start.
+        ``checkpointer`` (a :class:`~repro.resilience.Checkpointer`) is
+        offered the simulation after every step and writes a
+        step-granular checkpoint at its configured cadence.
         """
         if steps < 0:
             raise SimulationError(f"steps must be >= 0, got {steps}")
@@ -151,8 +157,29 @@ class PicSimulation:
             self.step()
             if energy_history is not None:
                 energy_history.record(self.time, self.grid, self.ensembles)
+            if checkpointer is not None:
+                checkpointer.maybe_save_simulation(self)
             if callback is not None:
                 callback(self)
+
+    # -- checkpointing ---------------------------------------------------
+
+    def save_checkpoint(self, path) -> None:
+        """Write the full simulation state (grid + particles + clocks).
+
+        The archive restores via :meth:`load_checkpoint` to a
+        simulation that continues *bit-identically* to one that never
+        stopped — the guarantee the resilience layer's device-loss
+        recovery builds on (see ``docs/RESILIENCE.md``).
+        """
+        from .. import io
+        io.save_simulation(path, self)
+
+    @classmethod
+    def load_checkpoint(cls, path, pusher=None) -> "PicSimulation":
+        """Reconstruct a simulation saved by :meth:`save_checkpoint`."""
+        from .. import io
+        return io.load_simulation(path, pusher=pusher)
 
     def check_state(self) -> None:
         """Raise :class:`SimulationError` on NaN/inf fields or particles."""

@@ -1,0 +1,73 @@
+"""The exception hierarchy is fixed API: assert every edge of it.
+
+Callers are documented (module docstring of :mod:`repro.errors`) to
+catch ``ReproError`` for any library failure and ``DeviceError`` for
+any runtime-simulator failure; this module pins those contracts the
+way ``test_constants.py`` pins the physical constants.
+"""
+
+import inspect
+
+import pytest
+
+from repro import errors
+from repro.errors import (AllocationFailedError, ConfigurationError,
+                          DeviceError, DeviceLostError, FieldError,
+                          KernelError, LaunchTimeoutError, LayoutError,
+                          MemoryModelError, ReproError, SimulationError,
+                          TraceError)
+
+#: Every deliberate error class and its direct base, as documented in
+#: the module docstring's catch-hierarchy diagram.
+HIERARCHY = {
+    ReproError: Exception,
+    ConfigurationError: ReproError,
+    LayoutError: ReproError,
+    DeviceError: ReproError,
+    MemoryModelError: DeviceError,
+    AllocationFailedError: MemoryModelError,
+    KernelError: DeviceError,
+    DeviceLostError: DeviceError,
+    LaunchTimeoutError: DeviceError,
+    FieldError: ReproError,
+    SimulationError: ReproError,
+    TraceError: ReproError,
+}
+
+
+@pytest.mark.parametrize("klass,base", HIERARCHY.items(),
+                         ids=lambda x: x.__name__)
+def test_direct_base(klass, base):
+    assert klass.__bases__ == (base,)
+
+
+def test_hierarchy_is_exhaustive():
+    """No error class exists that the diagram (and this test) misses."""
+    defined = {obj for _, obj in inspect.getmembers(errors, inspect.isclass)
+               if issubclass(obj, ReproError)}
+    assert defined == set(HIERARCHY)
+
+
+def test_docstring_mentions_every_class():
+    doc = errors.__doc__
+    for klass in HIERARCHY:
+        if klass is not ReproError:
+            assert klass.__name__ in doc, (
+                f"{klass.__name__} missing from the errors.py module "
+                f"docstring's catch-hierarchy example")
+
+
+def test_device_error_catches_all_runtime_failures():
+    for klass in (MemoryModelError, AllocationFailedError, KernelError,
+                  DeviceLostError, LaunchTimeoutError):
+        with pytest.raises(DeviceError):
+            raise klass("injected")
+
+
+def test_transient_vs_fatal_split():
+    # The resilience layer relies on this: a device loss must never be
+    # swallowed by handlers of the transient classes.
+    assert not issubclass(DeviceLostError, (LaunchTimeoutError,
+                                            AllocationFailedError,
+                                            KernelError))
+    assert issubclass(AllocationFailedError, MemoryModelError)

@@ -199,3 +199,90 @@ class TestNspsGuard:
         text = format_kernel_summary(tracer)
         assert "steady NSPS" in text
         assert "boris-precalculated-SoA-float" in text
+
+
+class TestRetryAccounting:
+    """Recovery cost shows up on the simulated clock, and tracing
+    still observes without perturbing (the PR-1 guard, now under
+    fault injection)."""
+
+    def _queue_and_spec(self, n=4096):
+        from repro.bench.calibration import cost_model_for, device_by_name
+        from repro.oneapi.queue import Queue, RuntimeConfig
+        from repro.oneapi.runtime import build_virtual_push_spec
+        device = device_by_name("cpu")
+        queue = Queue(device, RuntimeConfig(runtime="dpcpp"),
+                      cost_model_for(device))
+        spec = build_virtual_push_spec(n, Layout.SOA, Precision.SINGLE,
+                                       "precalculated", queue.memory)
+        return queue, spec, n
+
+    def test_two_failures_add_exactly_the_backoff_delays(self):
+        from repro.resilience import (FaultPlan, FaultRule, RetryPolicy,
+                                      fault_injection, launch_with_retry)
+        plan = FaultPlan(name="fail-twice", rules=(
+            FaultRule("launch-failure", at_ops=(0, 1)),))
+        policy = RetryPolicy(seed=3)
+        queue, spec, n = self._queue_and_spec()
+        with fault_injection(plan, seed=0) as injector:
+            record = launch_with_retry(queue, n, spec, policy=policy)
+        assert [f.kind for f in injector.injected] == ["launch-failure"] * 2
+        delays = policy.delay_sequence()
+        expected = [next(delays), next(delays)]
+        backoffs = [e for e in queue.timeline.events
+                    if e.name == f"backoff:{spec.name}"]
+        assert [e.duration for e in backoffs] == expected
+        # ... and the penalty is folded into the surviving record, so
+        # NSPS computed from records reflects the retries.
+        assert record.timing.recovery_seconds == pytest.approx(
+            sum(expected))
+        clean_queue, clean_spec, _ = self._queue_and_spec()
+        clean = clean_queue.parallel_for(n, clean_spec,
+                                         precision=Precision.DOUBLE)
+        assert record.timing.total_seconds == pytest.approx(
+            clean.timing.total_seconds + sum(expected))
+
+    def test_watchdog_burns_its_timeout_on_the_timeline(self):
+        from repro.resilience import (FaultPlan, FaultRule, RetryPolicy,
+                                      Watchdog, fault_injection,
+                                      launch_with_retry)
+        plan = FaultPlan(name="hang-once", rules=(
+            FaultRule("launch-hang", at_ops=(0,)),))
+        watchdog = Watchdog(timeout_seconds=0.25)
+        queue, spec, n = self._queue_and_spec()
+        with fault_injection(plan, seed=0):
+            launch_with_retry(queue, n, spec, policy=RetryPolicy(),
+                              watchdog=watchdog)
+        burned = [e for e in queue.timeline.events
+                  if e.name == f"watchdog:{spec.name}"]
+        assert [e.duration for e in burned] == [0.25]
+
+    def test_traced_nsps_equals_untraced_under_injection(self):
+        # Same plan + seed => identical faults, so tracing must still
+        # be a pure observer even while the injector is firing.
+        from repro.resilience import fault_injection, named_plan
+
+        def run():
+            with fault_injection(named_plan("transient"), seed=11):
+                return model_push_nsps(NUMA_CASE, n=SMALL_N, steps=6)
+
+        untraced = run()
+        tracer = Tracer()
+        with tracing(tracer):
+            traced = run()
+        assert traced.nsps == untraced.nsps
+        assert traced.first_launch_nsps == untraced.first_launch_nsps
+
+    def test_fault_and_recovery_events_are_traced(self):
+        from repro.resilience import (FaultPlan, FaultRule, RetryPolicy,
+                                      fault_injection, launch_with_retry)
+        plan = FaultPlan(name="fail-once", rules=(
+            FaultRule("launch-failure", at_ops=(0,)),))
+        queue, spec, n = self._queue_and_spec()
+        tracer = Tracer()
+        with tracing(tracer):
+            with fault_injection(plan, seed=0):
+                launch_with_retry(queue, n, spec, policy=RetryPolicy())
+        names = [i.name for i in tracer.instants]
+        assert "fault:launch-failure" in names
+        assert "recovery:retry" in names
