@@ -1,0 +1,147 @@
+"""Performance trajectory: NSPS snapshots appended across commits.
+
+The paper reports one set of numbers; a growing reproduction needs to
+know when a change *moves* them.  This module seeds that trajectory:
+every recorded run appends one snapshot — git sha, date, particle
+count, and the flat list of benchmark cells with their modelled NSPS —
+to ``benchmarks/BENCH_<scenario>.json``.  The files are committed, so
+the repo itself carries the history, and CI can compare a fresh run
+against the latest committed snapshot (``repro.bench.trajectory`` is
+what the multi-device benchmark smoke and the ``--record`` CLI flags
+are built on).
+
+File format (one JSON object)::
+
+    {"scenario": "table2",
+     "snapshots": [
+        {"git_sha": "...", "date": "2026-08-05", "n_particles": 10000000,
+         "cells": [{"config": "DPC++ NUMA", "layout": "SoA",
+                    "precision": "float", "scenario": "precalculated",
+                    "device": "cpu", "nsps": 0.5}, ...]},
+        ...]}
+
+Snapshots are append-only; cells are a flat list so consumers need no
+knowledge of each table's row/column nesting.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = ["git_sha", "trajectory_path", "append_snapshot",
+           "latest_snapshot", "load_trajectory", "flatten_table2",
+           "flatten_table3", "flatten_group_report"]
+
+#: Default directory for trajectory files (the committed benchmarks/).
+DEFAULT_DIRECTORY = "benchmarks"
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """Current commit sha, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10,
+                             cwd=cwd)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def trajectory_path(scenario: str, directory=None) -> Path:
+    """Path of the trajectory file for one scenario."""
+    if not scenario or any(c in scenario for c in "/\\"):
+        raise ConfigurationError(f"bad scenario name {scenario!r}")
+    base = Path(directory) if directory is not None \
+        else Path(DEFAULT_DIRECTORY)
+    return base / f"BENCH_{scenario}.json"
+
+
+def load_trajectory(scenario: str, directory=None) -> Dict:
+    """The whole trajectory document (empty skeleton when absent)."""
+    path = trajectory_path(scenario, directory)
+    if not path.exists():
+        return {"scenario": scenario, "snapshots": []}
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("scenario") != scenario \
+            or not isinstance(document.get("snapshots"), list):
+        raise ConfigurationError(
+            f"{path} is not a {scenario!r} trajectory file")
+    return document
+
+
+def append_snapshot(scenario: str, cells: List[Dict], n_particles: int,
+                    directory=None, sha: Optional[str] = None) -> Path:
+    """Append one snapshot to the scenario's trajectory; returns its path.
+
+    ``cells`` is the flat cell list (see the module docstring; build it
+    with one of the ``flatten_*`` helpers).  ``sha`` defaults to the
+    current commit.
+    """
+    if not cells:
+        raise ConfigurationError("refusing to record an empty snapshot")
+    for cell in cells:
+        if "nsps" not in cell:
+            raise ConfigurationError(
+                f"every cell needs an 'nsps' key, got {sorted(cell)}")
+    document = load_trajectory(scenario, directory)
+    document["snapshots"].append({
+        "git_sha": sha if sha is not None else git_sha(),
+        "date": datetime.date.today().isoformat(),
+        "n_particles": int(n_particles),
+        "cells": cells,
+    })
+    path = trajectory_path(scenario, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def latest_snapshot(scenario: str, directory=None) -> Optional[Dict]:
+    """Most recent snapshot of a scenario, or None when none recorded."""
+    snapshots = load_trajectory(scenario, directory)["snapshots"]
+    return snapshots[-1] if snapshots else None
+
+
+# -- flatteners: harness return shapes -> flat cell lists -----------------
+
+def flatten_table2(rows: Dict) -> List[Dict]:
+    """Flatten :func:`repro.bench.harness.table2_rows` output."""
+    cells = []
+    for (layout, parallelization), row in rows.items():
+        for (scenario, precision), nsps in row.items():
+            cells.append({"config": parallelization, "layout": layout,
+                          "precision": precision, "scenario": scenario,
+                          "device": "cpu", "nsps": float(nsps)})
+    return cells
+
+
+def flatten_table3(rows: Dict) -> List[Dict]:
+    """Flatten :func:`repro.bench.harness.table3_rows` output."""
+    cells = []
+    for layout, row in rows.items():
+        for (scenario, device), nsps in row.items():
+            cells.append({"config": "DPC++", "layout": layout,
+                          "precision": "float", "scenario": scenario,
+                          "device": device, "nsps": float(nsps)})
+    return cells
+
+
+def flatten_group_report(report, group_spec: str, layout: str,
+                         precision: str, scenario: str) -> List[Dict]:
+    """One cell from a :class:`~repro.distributed.runner.GroupReport`."""
+    return [{"config": f"sharded/{report.strategy}", "layout": layout,
+             "precision": precision, "scenario": scenario,
+             "device": group_spec, "n_devices": report.n_devices,
+             "imbalance": float(report.imbalance),
+             "exchange_bytes": int(report.exchange.total_bytes),
+             "nsps": float(report.nsps)}]

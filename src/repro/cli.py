@@ -61,16 +61,31 @@ from .particles.ensemble import Layout
 __all__ = ["main"]
 
 
+def _record_cells(args: argparse.Namespace, scenario: str,
+                  cells) -> None:
+    """Append a trajectory snapshot when ``--record`` was given."""
+    if not getattr(args, "record", False):
+        return
+    from .bench.trajectory import append_snapshot
+    path = append_snapshot(scenario, cells, args.particles,
+                           directory=getattr(args, "record_dir", None))
+    print(f"recorded snapshot -> {path}")
+
+
 def _cmd_table2(args: argparse.Namespace) -> None:
     rows = table2_rows(n=args.particles)
     print(comparison_table(rows, PAPER_TABLE2, "layout/impl",
                            "Table 2 — CPU NSPS, 6 implementations"))
+    from .bench.trajectory import flatten_table2
+    _record_cells(args, "table2", flatten_table2(rows))
 
 
 def _cmd_table3(args: argparse.Namespace) -> None:
     rows = table3_rows(n=args.particles)
     print(comparison_table(rows, PAPER_TABLE3, "layout",
                            "Table 3 — GPU NSPS (single precision)"))
+    from .bench.trajectory import flatten_table3
+    _record_cells(args, "table3", flatten_table3(rows))
 
 
 def _cmd_fig1(args: argparse.Namespace) -> None:
@@ -180,18 +195,84 @@ def _cmd_validate(args: argparse.Namespace) -> None:
 
 
 def _cmd_devices(args: argparse.Namespace) -> None:
+    from .distributed import default_link_table
+    links = default_link_table()
     rows = []
     for name in DEVICE_NAMES:
         device = device_by_name(name)
+        link = links.host_link(name)
         rows.append([
-            name, device.name, device.compute_units,
+            name, device.name, device.device_type.value,
+            device.compute_units, device.threads_per_unit,
             device.numa_domains,
             f"{device.peak_flops(Precision.SINGLE) / 1e12:.2f} TF",
+            f"{device.peak_flops(Precision.DOUBLE) / 1e12:.2f} TF",
             f"{device.total_bandwidth / 1e9:.0f} GB/s",
+            f"{link.name} ({link.bandwidth / 1e9:.1f} GB/s)",
         ])
     print(format_table(
-        ["key", "device", "units", "domains", "peak SP", "bandwidth"],
+        ["key", "device", "type", "units", "thr/u", "domains",
+         "peak SP", "peak DP", "bandwidth", "host link"],
         rows, "Simulated devices (paper Table 1)"))
+    print("(peak DP on the Iris Xe Max reflects emulated double "
+          "precision; 'host link' prices sharded exchange — "
+          "see docs/DISTRIBUTED.md)")
+
+
+def _cmd_shard(args: argparse.Namespace) -> None:
+    import tempfile
+
+    from .bench.scenarios import paper_ensemble
+    from .distributed import (DeviceGroup, ExchangePolicy,
+                              ShardedPushRunner, strategy_by_name)
+    from .resilience import Checkpointer
+
+    ensemble = paper_ensemble(args.shard_particles, Layout.SOA,
+                              Precision.SINGLE)
+    group = DeviceGroup.from_spec(args.group)
+    runner_args = dict(
+        strategy=strategy_by_name(args.strategy, Precision.SINGLE),
+        policy=ExchangePolicy(halo_fraction=args.halo),
+        overlap=not args.no_overlap,
+        rebalance_every=args.rebalance_every,
+    )
+    warmup = min(2, args.steps)
+    with tempfile.TemporaryDirectory() as scratch:
+        runner = ShardedPushRunner(
+            group, ensemble, "precalculated", paper_wave(),
+            paper_time_step(),
+            checkpointer=Checkpointer(scratch,
+                                      every=args.checkpoint_every),
+            **runner_args)
+        runner.run(warmup)
+        runner.reset_measurement()
+        report = runner.run(warmup + args.steps)
+    rows = [[s.name, s.key, s.particles, s.steps,
+             f"{s.busy_seconds * 1e3:.2f} ms",
+             "-" if s.mean_nsps != s.mean_nsps else f"{s.mean_nsps:.2f}"]
+            for s in report.shards]
+    print(format_table(
+        ["shard", "key", "particles", "steps", "busy", "NSPS"],
+        rows,
+        f"Sharded push — {args.group!r}, strategy {report.strategy}, "
+        f"{'overlap' if not args.no_overlap else 'bulk-synchronous'}"))
+    print(f"group NSPS {report.nsps:.3f} over {args.steps} steps "
+          f"({report.n_particles} particles on {report.n_devices} "
+          f"devices); imbalance {report.imbalance:.2f}")
+    print(f"exchange: {report.exchange.transfers} transfers, "
+          f"{report.exchange.total_bytes} bytes, "
+          f"{report.exchange.stalls} stalls; "
+          f"rebalances {report.rebalances}, "
+          f"redistributions {report.redistributions}")
+    if getattr(args, "record", False):
+        from .bench.trajectory import flatten_group_report
+        cells = flatten_group_report(report, args.group, Layout.SOA.value,
+                                     Precision.SINGLE.value,
+                                     "precalculated")
+        from .bench.trajectory import append_snapshot
+        path = append_snapshot("shard", cells, args.shard_particles,
+                               directory=getattr(args, "record_dir", None))
+        print(f"recorded snapshot -> {path}")
 
 
 def _cmd_faults(args: argparse.Namespace) -> None:
@@ -302,6 +383,37 @@ def build_parser() -> argparse.ArgumentParser:
                              "error taxonomy")
     faults.add_argument("--check-seeds", type=int, default=3,
                         help="seeds per plan for --self-check (default 3)")
+    from .distributed.sharding import STRATEGY_NAMES
+    shard = sub.add_parser(
+        "shard",
+        help="run a sharded push across a multi-device group "
+             "(see docs/DISTRIBUTED.md)")
+    shard.add_argument("--group", default="2x iris-xe-max",
+                       help="group spec: comma-separated device keys, "
+                            "each optionally '<n>x <key>' "
+                            "(default '2x iris-xe-max')")
+    shard.add_argument("--strategy", choices=STRATEGY_NAMES,
+                       default="even",
+                       help="sharding strategy (default even)")
+    shard.add_argument("--steps", type=int, default=12,
+                       help="measured push steps (default 12; two "
+                            "warm-up steps run and reset first)")
+    shard.add_argument("--shard-particles", type=int, default=200_000,
+                       help="ensemble size (default 200000; "
+                            "physics-carrying, so keep it modest)")
+    shard.add_argument("--no-overlap", action="store_true",
+                       help="bulk-synchronous schedule: pushes wait "
+                            "for the previous exchange")
+    shard.add_argument("--halo", type=float, default=0.02,
+                       help="halo fraction exchanged per neighbour per "
+                            "step (default 0.02)")
+    shard.add_argument("--rebalance-every", type=int, default=0,
+                       help="consult the strategy for a new partition "
+                            "every N steps (0 = never; pair with "
+                            "--strategy nsps)")
+    shard.add_argument("--checkpoint-every", type=int, default=5,
+                       help="checkpoint cadence enabling device-loss "
+                            "redistribution (default 5)")
     commands += [
         measure,
         escape,
@@ -311,7 +423,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="check every paper claim against the model"),
         sub.add_parser("devices", help="list simulated devices"),
         faults,
+        shard,
     ]
+    for name, command in (("table2", commands[0]), ("table3", commands[1]),
+                          ("shard", shard)):
+        command.add_argument(
+            "--record", action="store_true",
+            help=f"append this run's NSPS cells to "
+                 f"benchmarks/BENCH_{name}.json (the committed "
+                 f"performance trajectory)")
+        command.add_argument(
+            "--record-dir", default=None, metavar="DIR",
+            help="directory of the trajectory files "
+                 "(default: ./benchmarks)")
     for command in commands:
         # accept --trace after the command too; SUPPRESS keeps a value
         # given before the command from being clobbered by the default
@@ -340,6 +464,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "devices": _cmd_devices,
     "faults": _cmd_faults,
+    "shard": _cmd_shard,
 }
 
 #: Commands `repro trace CMD` accepts: every runner whose only knob is

@@ -1,0 +1,242 @@
+"""Sharding strategies: how a particle ensemble splits across devices.
+
+Because the Boris push is embarrassingly parallel over particles, a
+multi-device run is a 1-D block decomposition of the particle index
+space: device *i* owns one contiguous slice.  The whole load-balancing
+problem reduces to choosing the slice sizes, and this module provides
+the three policies the scaling study compares:
+
+* :class:`EvenSharding` — equal counts, the naive baseline.  Optimal
+  for homogeneous groups, badly skewed for heterogeneous ones (the
+  slowest device paces every step).
+* :class:`ProportionalSharding` — counts proportional to a static
+  device capability: calibrated memory bandwidth (right for the
+  memory-bound precalculated scenario) or achievable flops (right for
+  the compute-bound analytical scenario).
+* :class:`NspsRebalancer` — dynamic: starts from any initial split and
+  repartitions from *measured* per-shard NSPS, the paper's figure of
+  merit.  Device *i*'s throughput is ``1 / nsps_i`` particles per
+  nanosecond, so weights proportional to ``1/nsps`` equalise per-step
+  times; exponential smoothing keeps one noisy step from thrashing the
+  partition.
+
+All strategies produce counts through :func:`split_counts`
+(largest-remainder rounding), so shard counts always sum *exactly* to
+the ensemble size — acceptance-critical for heterogeneous splits, where
+naive ``int(n * w)`` rounding loses particles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..fp import Precision
+from ..oneapi.device import DeviceDescriptor
+
+__all__ = ["split_counts", "ShardingStrategy", "EvenSharding",
+           "ProportionalSharding", "NspsRebalancer", "strategy_by_name",
+           "STRATEGY_NAMES"]
+
+
+def split_counts(n: int, weights: Sequence[float]) -> List[int]:
+    """Split ``n`` items into ``len(weights)`` counts summing exactly to n.
+
+    Largest-remainder (Hamilton) apportionment: each shard gets the
+    floor of its exact share, then the leftover items go to the largest
+    fractional remainders (ties broken toward lower shard index, which
+    keeps the result deterministic).  Zero weights are legal and yield
+    zero-particle shards; ``n`` smaller than the shard count simply
+    leaves some shards empty.
+    """
+    weights = np.asarray(list(weights), dtype=np.float64)
+    if weights.size == 0:
+        raise ConfigurationError("split_counts needs at least one weight")
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    if np.any(weights < 0.0) or not np.all(np.isfinite(weights)):
+        raise ConfigurationError(
+            f"weights must be finite and >= 0, got {weights.tolist()}")
+    total = float(weights.sum())
+    if total == 0.0:
+        # No information: fall back to an even split.
+        weights = np.ones_like(weights)
+        total = float(weights.size)
+    exact = n * weights / total
+    counts = np.floor(exact).astype(int)
+    remainder = int(n - counts.sum())
+    if remainder:
+        # Stable argsort on negated remainders → ties go to lower index.
+        order = np.argsort(-(exact - counts), kind="stable")
+        counts[order[:remainder]] += 1
+    return counts.tolist()
+
+
+class ShardingStrategy:
+    """Base class: maps (ensemble size, device list) to shard counts."""
+
+    #: Short name used by the CLI and reports.
+    name = "base"
+
+    def initial_counts(self, n: int,
+                       devices: Sequence[DeviceDescriptor]) -> List[int]:
+        """Initial partition of ``n`` particles over ``devices``."""
+        raise NotImplementedError
+
+    def rebalanced_counts(self, n: int, counts: Sequence[int],
+                          nsps: Sequence[float]) -> Optional[List[int]]:
+        """New partition given measured per-shard NSPS, or None to keep.
+
+        Static strategies never repartition; only the rebalancer
+        overrides this.
+        """
+        return None
+
+
+class EvenSharding(ShardingStrategy):
+    """Equal particle counts per device (the baseline)."""
+
+    name = "even"
+
+    def initial_counts(self, n: int,
+                       devices: Sequence[DeviceDescriptor]) -> List[int]:
+        if not devices:
+            raise ConfigurationError("need at least one device")
+        return split_counts(n, [1.0] * len(devices))
+
+
+class ProportionalSharding(ShardingStrategy):
+    """Counts proportional to a static device capability.
+
+    Args:
+        metric: ``"bandwidth"`` (calibrated aggregate DRAM bandwidth —
+            the right proxy for the memory-bound precalculated
+            scenario) or ``"flops"`` (achievable flops at ``precision``
+            — right for the compute-bound analytical scenario).
+        precision: Precision the flops metric is evaluated at; matters
+            because DP emulation reshuffles the ranking (an Iris Xe Max
+            outruns the P630 in SP but collapses below it in DP).
+    """
+
+    METRICS = ("bandwidth", "flops")
+
+    def __init__(self, metric: str = "bandwidth",
+                 precision: Precision = Precision.SINGLE) -> None:
+        if metric not in self.METRICS:
+            raise ConfigurationError(
+                f"metric must be one of {self.METRICS}, got {metric!r}")
+        self.metric = metric
+        self.precision = precision
+        self.name = metric
+
+    def weight(self, device: DeviceDescriptor) -> float:
+        """The capability weight of one device."""
+        if self.metric == "bandwidth":
+            return device.total_bandwidth
+        return device.achievable_flops(self.precision,
+                                       device.compute_units)
+
+    def initial_counts(self, n: int,
+                       devices: Sequence[DeviceDescriptor]) -> List[int]:
+        if not devices:
+            raise ConfigurationError("need at least one device")
+        return split_counts(n, [self.weight(d) for d in devices])
+
+
+class NspsRebalancer(ShardingStrategy):
+    """Dynamic load balancing from measured per-shard NSPS.
+
+    The initial partition comes from ``seed`` (even by default, so the
+    rebalancer demonstrably *recovers* from a bad split); thereafter
+    each call to :meth:`rebalanced_counts` moves the partition toward
+    throughput-proportional weights ``1 / nsps``, exponentially
+    smoothed by ``smoothing`` (1.0 = jump straight to the measurement,
+    small values trust history more).  When the relative change of
+    every count falls below ``tolerance`` the partition is declared
+    converged and left alone — the stop condition that keeps a
+    converged run from migrating one particle back and forth forever.
+    """
+
+    name = "nsps"
+
+    def __init__(self, seed: Optional[ShardingStrategy] = None,
+                 smoothing: float = 0.5, tolerance: float = 0.02) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(
+                f"smoothing must be in (0, 1], got {smoothing!r}")
+        if tolerance < 0.0:
+            raise ConfigurationError(
+                f"tolerance must be >= 0, got {tolerance!r}")
+        self.seed = seed if seed is not None else EvenSharding()
+        self.smoothing = smoothing
+        self.tolerance = tolerance
+        self._weights: Optional[np.ndarray] = None
+        self.converged = False
+
+    def initial_counts(self, n: int,
+                       devices: Sequence[DeviceDescriptor]) -> List[int]:
+        counts = self.seed.initial_counts(n, devices)
+        self._weights = None
+        self.converged = False
+        return counts
+
+    def rebalanced_counts(self, n: int, counts: Sequence[int],
+                          nsps: Sequence[float]) -> Optional[List[int]]:
+        """Repartition from measured NSPS; None once converged.
+
+        Shards that measured no throughput this round (zero particles,
+        or NaN from a skipped step) keep their previous weight — an
+        empty shard would otherwise be stuck empty, since it can never
+        measure an NSPS to earn particles back.
+        """
+        if len(nsps) != len(counts):
+            raise ConfigurationError(
+                f"got {len(nsps)} NSPS samples for {len(counts)} shards")
+        if self.converged:
+            return None
+        measured = np.asarray(list(nsps), dtype=np.float64)
+        ok = np.isfinite(measured) & (measured > 0.0)
+        fresh = np.where(ok, 1.0 / np.where(ok, measured, 1.0), np.nan)
+        if self._weights is None:
+            previous = np.where(ok, fresh, np.nanmean(fresh) if
+                                np.any(ok) else 1.0)
+        else:
+            previous = self._weights
+        weights = np.where(ok,
+                           (1.0 - self.smoothing) * previous
+                           + self.smoothing * fresh,
+                           previous)
+        self._weights = weights
+        new_counts = split_counts(n, weights)
+        old = np.asarray(list(counts), dtype=np.float64)
+        delta = np.abs(np.asarray(new_counts) - old)
+        scale = np.maximum(old, 1.0)
+        if np.all(delta / scale <= self.tolerance):
+            self.converged = True
+            return None
+        return new_counts
+
+    def reset(self) -> None:
+        """Forget smoothed weights and convergence (device-set change)."""
+        self._weights = None
+        self.converged = False
+
+
+#: Strategy names accepted by :func:`strategy_by_name` / the CLI.
+STRATEGY_NAMES = ("even", "bandwidth", "flops", "nsps")
+
+
+def strategy_by_name(name: str,
+                     precision: Precision = Precision.SINGLE
+                     ) -> ShardingStrategy:
+    """Build a strategy from its CLI name."""
+    if name == "even":
+        return EvenSharding()
+    if name in ("bandwidth", "flops"):
+        return ProportionalSharding(metric=name, precision=precision)
+    if name == "nsps":
+        return NspsRebalancer()
+    raise ConfigurationError(
+        f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}")

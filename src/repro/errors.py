@@ -15,17 +15,22 @@ The full catch hierarchy::
     │   ├── KernelError
     │   ├── DeviceLostError
     │   └── LaunchTimeoutError
+    │       └── ExchangeTimeoutError
     ├── FieldError
     ├── SimulationError
     └── TraceError
 
-The three leaves under :class:`DeviceError` added for the resilience
-layer (:mod:`repro.resilience`) split device failures by recovery
-semantics: :class:`AllocationFailedError` and
-:class:`LaunchTimeoutError` are *transient* (a bounded retry with
-backoff can succeed), while :class:`DeviceLostError` is *fatal to the
-device* (recovery means failing over to the next device in the
-fallback chain and restoring from a checkpoint).
+The leaves under :class:`DeviceError` added for the resilience layer
+(:mod:`repro.resilience`) split device failures by recovery semantics:
+:class:`AllocationFailedError` and :class:`LaunchTimeoutError` (with
+its inter-device specialisation :class:`ExchangeTimeoutError`, raised
+by the distributed layer when a cost-modeled exchange stalls) are
+*transient* (a bounded retry with backoff can succeed), while
+:class:`DeviceLostError` is *fatal to the device* (recovery means
+failing over to the next device in the fallback chain — or, for a
+sharded :class:`~repro.distributed.ShardedPushRunner`, redistributing
+the lost shard over the surviving devices — and restoring from a
+checkpoint).
 """
 
 from __future__ import annotations
@@ -127,6 +132,20 @@ class LaunchTimeoutError(DeviceError):
     timeline and a bounded retry usually succeeds; repeated timeouts
     escalate to :class:`DeviceLostError` semantics via the retry
     policy's attempt bound.
+    """
+
+
+class ExchangeTimeoutError(LaunchTimeoutError):
+    """A cost-modeled inter-device exchange stalled past the watchdog.
+
+    Usage: raised at the exchange sites of the distributed layer
+    (:meth:`repro.oneapi.queue.Queue.memcpy_async`, driven by
+    :class:`~repro.distributed.ExchangeModel`) when a halo or
+    field-replication transfer hangs — the multi-device analogue of a
+    hung kernel launch.  Transient, like its base class: the stalled
+    window is charged to the simulated timeline and the exchange is
+    re-issued under the bounded retry policy; ``except
+    LaunchTimeoutError`` handlers therefore recover exchanges too.
     """
 
 

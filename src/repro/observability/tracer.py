@@ -235,6 +235,23 @@ class Tracer:
         self.instant(f"transfer:{name}", "memory",
                      seconds=seconds, bytes=nbytes)
 
+    # -- distributed events ----------------------------------------------
+
+    def exchange(self, name: str, seconds: float, nbytes: int, /,
+                 **args: Any) -> None:
+        """Report one cost-modeled inter-device exchange.
+
+        ``name`` identifies the transfer (typically
+        ``"<src> -> <dst>"``), ``seconds`` is the simulated link time it
+        was charged, ``nbytes`` the payload.  Recorded as an
+        ``exchange``-category instant plus a sample of the
+        ``exchange-bytes`` counter series, so traces show both the
+        individual transfers and the cumulative per-link traffic.
+        """
+        self.instant(f"exchange:{name}", "exchange",
+                     seconds=seconds, bytes=nbytes, **args)
+        self.counter("exchange-bytes", **{name: float(nbytes)})
+
     # -- resilience events -----------------------------------------------
 
     def fault(self, kind: str, /, **args: Any) -> None:

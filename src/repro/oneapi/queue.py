@@ -256,6 +256,41 @@ class Queue:
                 tracer.transfer(spec.name, transfer, moved)
         return record
 
+    def memcpy_async(self, name: str, nbytes: int, *,
+                     bandwidth: float, latency: float = 0.0,
+                     depends_on: Optional[List[SimEvent]] = None
+                     ) -> SimEvent:
+        """Model an asynchronous copy command on this queue's timeline.
+
+        The simulated analogue of ``sycl::queue::memcpy``: a transfer
+        of ``nbytes`` over a link of the given ``bandwidth`` [bytes/s]
+        and per-message ``latency`` [s] is placed on the timeline as
+        its own command, ordered after ``depends_on`` (on an
+        out-of-order queue a copy with no dependencies overlaps freely
+        with compute — the mechanism the distributed layer uses to hide
+        halo exchange behind push kernels).  Under an active fault
+        injector this is an ``exchange-stall`` opportunity: a stalled
+        copy raises :class:`~repro.errors.ExchangeTimeoutError`
+        *before* anything is charged, so the caller can burn the
+        watchdog window and re-issue it.
+        """
+        if nbytes < 0:
+            raise KernelError(f"nbytes must be >= 0, got {nbytes}")
+        if bandwidth <= 0.0:
+            raise ConfigurationError(
+                f"bandwidth must be positive, got {bandwidth!r}")
+        if latency < 0.0:
+            raise ConfigurationError(
+                f"latency must be >= 0, got {latency!r}")
+        injector = active_fault_injector()
+        if injector is not None:
+            injector.on_exchange(self.device.name, name, nbytes)
+        seconds = latency + nbytes / bandwidth
+        return self.timeline.schedule(
+            name, seconds, depends_on=depends_on,
+            trace_args={"bytes": nbytes, "bandwidth": bandwidth,
+                        "latency": latency})
+
     def create_buffer(self, data, name: str = ""):
         """Create a :class:`~repro.oneapi.buffer.Buffer` on this queue's
         context (convenience mirroring ``sycl::buffer``)."""

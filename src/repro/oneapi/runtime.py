@@ -222,8 +222,13 @@ class PushRunner:
                 ensemble, scenario, queue.memory,
                 field_flops=source.flops_per_evaluation)
 
-    def step(self) -> KernelLaunchRecord:
+    def step(self, depends_on=None) -> KernelLaunchRecord:
         """One timed push step (plus the untimed field refresh if any).
+
+        ``depends_on`` (a list of :class:`~repro.oneapi.events.SimEvent`)
+        orders the launch after other commands on an out-of-order queue
+        — the sharded runner uses it to serialize a shard's successive
+        pushes while letting exchange commands overlap them.
 
         Under an active tracer the step appears as a ``runner``-category
         span, with the untimed field refresh as a nested child — making
@@ -255,7 +260,8 @@ class PushRunner:
                                           time_now, self.dt)
             record = self.queue.parallel_for(
                 self.ensemble.size, self.spec, kernel=kernel,
-                precision=self.ensemble.precision)
+                precision=self.ensemble.precision,
+                depends_on=depends_on)
         self.time += self.dt
         return record
 

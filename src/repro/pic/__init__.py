@@ -26,6 +26,7 @@ from .diagnostics import (
     kinetic_energy,
     total_momentum,
     EnergyHistory,
+    load_imbalance,
     plasma_frequency,
 )
 
@@ -41,5 +42,6 @@ __all__ = [
     "kinetic_energy",
     "total_momentum",
     "EnergyHistory",
+    "load_imbalance",
     "plasma_frequency",
 ]

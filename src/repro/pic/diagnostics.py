@@ -12,7 +12,7 @@ from ..fields.grid import YeeGrid
 from ..particles.ensemble import ParticleEnsemble
 
 __all__ = ["field_energy", "kinetic_energy", "total_momentum",
-           "plasma_frequency", "EnergyHistory"]
+           "plasma_frequency", "load_imbalance", "EnergyHistory"]
 
 
 def field_energy(grid: YeeGrid) -> float:
@@ -41,6 +41,29 @@ def plasma_frequency(density: float, mass: float, charge: float) -> float:
     if mass <= 0.0:
         raise ConfigurationError(f"mass must be positive, got {mass!r}")
     return math.sqrt(4.0 * math.pi * density * charge * charge / mass)
+
+
+def load_imbalance(loads) -> float:
+    """Load-imbalance factor ``max / mean - 1`` over per-shard loads.
+
+    The standard figure of merit of domain-decomposed PIC (zero for a
+    perfectly even decomposition; 1.0 means the busiest shard carries
+    twice the average).  ``loads`` are per-shard work measures —
+    particle counts, per-step shard times, or anything proportional to
+    work.  Zero-weight shards are legal (a device can own an empty
+    domain); an all-zero load vector is perfectly balanced by
+    convention.  Used by the distributed layer's rebalancer reports and
+    the ``repro shard`` CLI.
+    """
+    values = np.asarray(list(loads), dtype=np.float64)
+    if values.size == 0:
+        raise ConfigurationError("load_imbalance needs at least one shard")
+    if np.any(values < 0.0):
+        raise ConfigurationError("shard loads must be >= 0")
+    mean = float(values.mean())
+    if mean == 0.0:
+        return 0.0
+    return float(values.max()) / mean - 1.0
 
 
 class EnergyHistory:

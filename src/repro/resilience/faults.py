@@ -40,6 +40,9 @@ kind                  injection site
 ``device-loss``       :meth:`repro.oneapi.runtime.PushRunner.step` —
                       the whole device dies, permanently
                       (``DeviceLostError``)
+``exchange-stall``    :meth:`repro.oneapi.queue.Queue.memcpy_async` —
+                      an inter-device exchange hangs; the watchdog
+                      kills it (``ExchangeTimeoutError``)
 ====================  ====================================================
 """
 
@@ -53,8 +56,8 @@ from typing import Iterator, List, Optional, Tuple
 import numpy as np
 
 from ..errors import (AllocationFailedError, ConfigurationError,
-                      DeviceLostError, KernelError, LaunchTimeoutError,
-                      MemoryModelError)
+                      DeviceLostError, ExchangeTimeoutError, KernelError,
+                      LaunchTimeoutError, MemoryModelError)
 from ..observability.tracer import active_tracer
 
 __all__ = ["FAULT_KINDS", "FaultRule", "FaultPlan", "InjectedFault",
@@ -72,6 +75,7 @@ FAULT_KINDS = (
     "poisoned-read",
     "scheduler-imbalance",
     "device-loss",
+    "exchange-stall",
 )
 
 
@@ -275,6 +279,23 @@ class FaultInjector:
     def scheduler_imbalance(self) -> bool:
         """Whether this launch's dynamic schedule loses half its threads."""
         return self._decide("scheduler-imbalance")
+
+    def on_exchange(self, device: str, name: str, nbytes: int) -> None:
+        """Called before every cost-modeled inter-device exchange.
+
+        A lost device can no longer exchange; otherwise the stall
+        decision may hang the transfer, which the exchange watchdog
+        kills (:class:`~repro.errors.ExchangeTimeoutError`) so a
+        bounded retry can re-issue it.
+        """
+        if device in self.lost_devices:
+            raise DeviceLostError(
+                f"device {device!r} was lost earlier in this run")
+        if self._decide("exchange-stall", detail=name, device=device):
+            raise ExchangeTimeoutError(
+                f"injected exchange stall: transfer {name!r} "
+                f"({nbytes} bytes) on {device!r} exceeded the exchange "
+                f"watchdog")
 
     def on_device_step(self, device: str) -> None:
         """Called by the push runner at the top of every step."""

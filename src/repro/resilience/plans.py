@@ -60,6 +60,20 @@ def _device_loss() -> FaultPlan:
     ))
 
 
+def _exchange() -> FaultPlan:
+    """Stalled inter-device exchanges plus mild launch transients.
+
+    Only meaningful for multi-device workloads (the sharded runner of
+    :mod:`repro.distributed`): exchange-stall opportunities occur at
+    :meth:`~repro.oneapi.queue.Queue.memcpy_async` sites, which a
+    single-device push never reaches.
+    """
+    return FaultPlan(name="exchange", rules=(
+        FaultRule("exchange-stall", probability=0.15),
+        FaultRule("launch-failure", probability=0.02),
+    ))
+
+
 def _chaos() -> FaultPlan:
     """Everything at once, bounded so recovery stays possible."""
     return FaultPlan(name="chaos", rules=(
@@ -71,6 +85,7 @@ def _chaos() -> FaultPlan:
         FaultRule("poisoned-read", probability=0.04),
         FaultRule("scheduler-imbalance", probability=0.1),
         FaultRule("device-loss", probability=0.01, max_injections=2),
+        FaultRule("exchange-stall", probability=0.08),
     ))
 
 
@@ -79,6 +94,7 @@ _PLANS = {
     "transient": _transient,
     "default": _default,
     "device-loss": _device_loss,
+    "exchange": _exchange,
     "chaos": _chaos,
 }
 

@@ -1,0 +1,231 @@
+"""End-to-end behaviour of the sharded runner.
+
+The one invariant everything else leans on: the Boris push has no
+cross-particle term, so a sharded run gathered back together is
+**bit-identical** to a single-device run, for any partition, any
+device mix, and any mid-run repartition.  These tests pin that, plus
+the scheduling semantics (overlap), the measurement epochs, and the
+fault paths (exchange stalls retried in place, device loss recovered
+by checkpoint restore + re-sharding).
+"""
+
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.bench import paper_time_step, paper_wave
+from repro.bench.scenarios import paper_ensemble
+from repro.bench.trajectory import (append_snapshot, latest_snapshot,
+                                    load_trajectory, trajectory_path)
+from repro.distributed import (DeviceGroup, ExchangePolicy, NspsRebalancer,
+                               ShardedPushRunner)
+from repro.errors import (ConfigurationError, DeviceLostError,
+                          ExchangeTimeoutError)
+from repro.fp import Precision
+from repro.observability import Tracer, tracing
+from repro.oneapi.runtime import PushRunner
+from repro.particles import Layout
+from repro.particles.ensemble import COMPONENTS
+from repro.resilience import (Checkpointer, FaultPlan, FaultRule,
+                              fault_injection, named_plan)
+
+N = 2_000
+STEPS = 4
+
+
+def _ensemble(n=N):
+    return paper_ensemble(n, Layout.SOA, Precision.SINGLE)
+
+
+def _runner(spec, n=N, **kwargs):
+    return ShardedPushRunner(DeviceGroup.from_spec(spec), _ensemble(n),
+                             "precalculated", paper_wave(),
+                             paper_time_step(), **kwargs)
+
+
+def _assert_same_state(a, b):
+    for name in COMPONENTS:
+        assert np.array_equal(a.component(name), b.component(name)), name
+
+
+# -- the bit-exactness invariant -------------------------------------------
+
+def test_sharded_run_matches_single_device_bits():
+    reference = _ensemble()
+    queue = DeviceGroup.from_spec("iris-xe-max").members[0].queue
+    PushRunner(queue, reference, "precalculated", paper_wave(),
+               paper_time_step()).run(STEPS)
+
+    for spec in ("iris-xe-max", "2x iris-xe-max", "cpu, p630, iris-xe-max"):
+        runner = _runner(spec)
+        runner.run(STEPS)
+        _assert_same_state(reference, runner.ensemble)
+
+
+def test_mid_run_repartition_does_not_perturb_trajectories():
+    reference = _runner("cpu, iris-xe-max")
+    reference.run(STEPS)
+
+    rebalanced = _runner("cpu, iris-xe-max", strategy=NspsRebalancer(),
+                         rebalance_every=1)
+    report = rebalanced.run(STEPS)
+    assert report.rebalances >= 1  # particles actually migrated
+    _assert_same_state(reference.ensemble, rebalanced.ensemble)
+
+
+def test_more_devices_than_particles():
+    runner = _runner("cpu, p630, iris-xe-max", n=2)
+    report = runner.run(2)
+    assert report.steps == 2
+    assert sorted(s.particles for s in report.shards) == [0, 1, 1]
+    empty = [s for s in report.shards if s.particles == 0][0]
+    assert empty.steps == 0
+    assert empty.mean_nsps != empty.mean_nsps  # NaN: nothing measured
+
+
+# -- accounting and measurement epochs -------------------------------------
+
+def test_nsps_requires_completed_steps():
+    runner = _runner("2x p630")
+    with pytest.raises(ConfigurationError):
+        runner.nsps()
+    runner.run(2)
+    assert runner.nsps() > 0.0
+
+
+def test_reset_measurement_excludes_jit_warmup():
+    warm = _runner("2x iris-xe-max", n=50_000)
+    warm.run(2)
+    warm.reset_measurement()
+    steady = warm.run(2 + STEPS).nsps
+
+    cold = _runner("2x iris-xe-max", n=50_000).run(STEPS).nsps
+    # The cold run pays the one-off JIT charge inside the measurement.
+    assert steady < cold
+
+
+def test_overlap_beats_bulk_synchronous():
+    overlapped = _runner("2x iris-xe-max", n=50_000, overlap=True)
+    synchronous = _runner("2x iris-xe-max", n=50_000, overlap=False)
+    assert overlapped.run(STEPS).simulated_seconds < \
+        synchronous.run(STEPS).simulated_seconds
+
+
+def test_exchange_is_priced_and_traced():
+    tracer = Tracer()
+    with tracing(tracer):
+        report = _runner("2x p630").run(2)
+    assert report.exchange.transfers == 4  # 2 shards x 2 steps
+    assert report.exchange.total_bytes > 0
+    assert report.exchange.total_seconds > 0.0
+    assert set(report.exchange.per_member_bytes) == \
+        {"Intel P630 #0", "Intel P630 #1"}
+    names = [i.name for i in tracer.instants]
+    assert any(n.startswith("exchange:") for n in names)
+
+
+# -- fault paths ------------------------------------------------------------
+
+def test_exchange_stalls_are_retried_in_place():
+    # Stall the first attempts, succeed within the retry budget: the
+    # run completes, the stall windows land in the accounting.
+    plan = FaultPlan(name="stalls", rules=(
+        FaultRule("exchange-stall", probability=1.0, max_injections=2),))
+    with fault_injection(plan, seed=0):
+        report = _runner("2x p630").run(2)
+    assert report.steps == 2
+    assert report.exchange.stalls == 2
+    assert report.exchange.stalled_seconds == pytest.approx(2 * 5.0e-4)
+
+
+def test_exchange_stall_exhausts_retry_budget():
+    plan = FaultPlan(name="always-stalls", rules=(
+        FaultRule("exchange-stall", probability=1.0),))
+    with fault_injection(plan, seed=0):
+        with pytest.raises(ExchangeTimeoutError):
+            _runner("2x p630",
+                    policy=ExchangePolicy(max_attempts=2)).run(1)
+
+
+def test_named_exchange_plan_completes():
+    with fault_injection(named_plan("exchange"), seed=1):
+        report = _runner("2x p630").run(STEPS)
+    assert report.steps == STEPS
+
+
+def test_device_loss_without_checkpointer_is_fatal():
+    with fault_injection(named_plan("device-loss"), seed=3):
+        with pytest.raises(DeviceLostError):
+            _runner("cpu, iris-xe-max").run(STEPS * 3)
+
+
+def test_device_loss_redistributes_and_matches_fault_free_bits():
+    steps = 10
+    reference = _runner("cpu, iris-xe-max")
+    reference.run(steps)
+
+    tracer = Tracer()
+    with tempfile.TemporaryDirectory() as scratch:
+        faulty = _runner("cpu, iris-xe-max",
+                         checkpointer=Checkpointer(scratch, every=4))
+        with tracing(tracer):
+            with fault_injection(named_plan("device-loss"), seed=3):
+                report = faulty.run(steps)
+    assert report.steps == steps
+    assert report.redistributions == 1
+    assert report.n_devices == 1  # one survivor finished the run
+    assert any(i.name == "recovery:redistribute" for i in tracer.instants)
+    _assert_same_state(reference.ensemble, faulty.ensemble)
+
+
+# -- the committed performance trajectory ----------------------------------
+
+def test_trajectory_round_trip(tmp_path):
+    cells = [{"config": "sharded/even", "nsps": 1.25}]
+    path = append_snapshot("smoke", cells, 1000, directory=tmp_path,
+                           sha="abc123")
+    assert path == trajectory_path("smoke", tmp_path)
+    append_snapshot("smoke", [{"config": "x", "nsps": 1.5}], 1000,
+                    directory=tmp_path, sha="def456")
+    document = load_trajectory("smoke", tmp_path)
+    assert [s["git_sha"] for s in document["snapshots"]] == \
+        ["abc123", "def456"]
+    latest = latest_snapshot("smoke", tmp_path)
+    assert latest["cells"][0]["nsps"] == 1.5
+    assert latest["n_particles"] == 1000
+
+
+def test_trajectory_validation(tmp_path):
+    assert latest_snapshot("absent", tmp_path) is None
+    with pytest.raises(ConfigurationError):
+        append_snapshot("smoke", [], 10, directory=tmp_path)
+    with pytest.raises(ConfigurationError):
+        append_snapshot("smoke", [{"config": "no-nsps"}], 10,
+                        directory=tmp_path)
+    with pytest.raises(ConfigurationError):
+        trajectory_path("../escape")
+    other = trajectory_path("other", tmp_path)
+    other.parent.mkdir(parents=True, exist_ok=True)
+    other.write_text('{"scenario": "mismatched", "snapshots": []}')
+    with pytest.raises(ConfigurationError):
+        load_trajectory("other", tmp_path)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_devices_and_shard(capsys, tmp_path):
+    from repro.cli import main
+
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert "peak DP" in out and "host link" in out
+
+    assert main(["shard", "--group", "2x p630", "--steps", "2",
+                 "--shard-particles", "2000", "--record",
+                 "--record-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "group NSPS" in out
+    recorded = latest_snapshot("shard", tmp_path)
+    assert recorded["cells"][0]["device"] == "2x p630"
+    assert recorded["cells"][0]["n_devices"] == 2

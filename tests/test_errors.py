@@ -12,10 +12,10 @@ import pytest
 
 from repro import errors
 from repro.errors import (AllocationFailedError, ConfigurationError,
-                          DeviceError, DeviceLostError, FieldError,
-                          KernelError, LaunchTimeoutError, LayoutError,
-                          MemoryModelError, ReproError, SimulationError,
-                          TraceError)
+                          DeviceError, DeviceLostError, ExchangeTimeoutError,
+                          FieldError, KernelError, LaunchTimeoutError,
+                          LayoutError, MemoryModelError, ReproError,
+                          SimulationError, TraceError)
 
 #: Every deliberate error class and its direct base, as documented in
 #: the module docstring's catch-hierarchy diagram.
@@ -29,6 +29,7 @@ HIERARCHY = {
     KernelError: DeviceError,
     DeviceLostError: DeviceError,
     LaunchTimeoutError: DeviceError,
+    ExchangeTimeoutError: LaunchTimeoutError,
     FieldError: ReproError,
     SimulationError: ReproError,
     TraceError: ReproError,
@@ -59,7 +60,8 @@ def test_docstring_mentions_every_class():
 
 def test_device_error_catches_all_runtime_failures():
     for klass in (MemoryModelError, AllocationFailedError, KernelError,
-                  DeviceLostError, LaunchTimeoutError):
+                  DeviceLostError, LaunchTimeoutError,
+                  ExchangeTimeoutError):
         with pytest.raises(DeviceError):
             raise klass("injected")
 
@@ -71,3 +73,6 @@ def test_transient_vs_fatal_split():
                                             AllocationFailedError,
                                             KernelError))
     assert issubclass(AllocationFailedError, MemoryModelError)
+    # An exchange stall is transient: the retry machinery that catches
+    # hung launches must catch stalled exchanges too.
+    assert issubclass(ExchangeTimeoutError, LaunchTimeoutError)
