@@ -122,6 +122,7 @@ from .core import (
     TrajectoryRecorder,
     integrate_trajectory_rk4,
 )
+from .api import RunConfig, RunReport, run_push
 
 __version__ = "1.0.0"
 
@@ -197,5 +198,8 @@ __all__ = [
     "active_fault_injector",
     "fault_injection",
     "named_plan",
+    "RunConfig",
+    "RunReport",
+    "run_push",
     "__version__",
 ]

@@ -1,0 +1,411 @@
+"""One front door for every push workload: ``run_push(RunConfig())``.
+
+Before this facade the repo had three runner constructors with three
+overlapping signatures — :class:`~repro.oneapi.runtime.PushEngine`
+(single device), :class:`~repro.resilience.runner.ResilientPushEngine`
+(fallback ladder + fault plans) and
+:class:`~repro.distributed.runner.ShardedPushEngine` (device groups).
+:func:`run_push` keeps all three reachable through one declarative
+:class:`RunConfig` and returns one :class:`RunReport`; the old
+``*PushRunner`` names still work but emit ``DeprecationWarning``
+(see ``docs/API.md`` for the deprecation policy).
+
+Mode selection is by configuration shape, not by flag:
+
+* ``group`` set (a spec string like ``"2x iris-xe-max"``) — sharded
+  run across a :class:`~repro.distributed.group.DeviceGroup`;
+* ``devices`` ladder or ``fault_plan`` set — resilient run walking the
+  fallback chain under the named fault plan;
+* otherwise — a plain single-device run on ``device``.
+
+Error surfacing: any exception escaping the scheduler, exchange or
+kernel-graph paths that is not already a
+:class:`~repro.errors.ReproError` is wrapped into the closest
+documented class before it reaches the caller — the facade guarantee
+stated in :mod:`repro.errors`.  Callers can therefore handle every
+failure with one ``except ReproError`` arm.
+
+Quickstart::
+
+    from repro.api import RunConfig, run_push
+
+    report = run_push(RunConfig(n_particles=100_000, steps=10,
+                                device="iris-xe-max", fusion=True))
+    print(report.nsps, report.cache_stats["misses"])
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .errors import (AllocationFailedError, ConfigurationError, KernelError,
+                     ReproError)
+from .fp import Precision
+from .particles.ensemble import Layout
+
+__all__ = ["RunConfig", "RunReport", "run_push"]
+
+_LAYOUTS = {"aos": Layout.AOS, "soa": Layout.SOA}
+_PRECISIONS = {"float": Precision.SINGLE, "single": Precision.SINGLE,
+               "double": Precision.DOUBLE}
+
+
+def _coerce_layout(value) -> Layout:
+    """Accept a Layout enum or a spelling like "SoA"/"aos"."""
+    if isinstance(value, Layout):
+        return value
+    try:
+        return _LAYOUTS[str(value).lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown layout {value!r}; expected 'AoS' or 'SoA'") from None
+
+
+def _coerce_precision(value) -> Precision:
+    """Accept a Precision enum or "float"/"single"/"double"."""
+    if isinstance(value, Precision):
+        return value
+    try:
+        return _PRECISIONS[str(value).lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown precision {value!r}; expected 'float' or "
+            f"'double'") from None
+
+
+def _map_error(exc: BaseException) -> ReproError:
+    """The facade guarantee: fold foreign exceptions into the taxonomy.
+
+    ``ReproError`` instances pass through untouched.  Misuse-shaped
+    builtins become :class:`ConfigurationError`, resource exhaustion
+    becomes :class:`AllocationFailedError`, and anything else — a bug
+    in a kernel body, a numpy broadcast error deep in the scheduler —
+    surfaces as :class:`KernelError` with the original chained as
+    ``__cause__`` so nothing is hidden.
+    """
+    if isinstance(exc, ReproError):
+        return exc
+    if isinstance(exc, (ValueError, TypeError, KeyError)):
+        mapped: ReproError = ConfigurationError(
+            f"invalid run configuration: {exc}")
+    elif isinstance(exc, MemoryError):
+        mapped = AllocationFailedError(f"host allocation failed: {exc}")
+    else:
+        mapped = KernelError(
+            f"push run failed ({type(exc).__name__}): {exc}")
+    mapped.__cause__ = exc
+    return mapped
+
+
+@dataclass
+class RunConfig:
+    """Everything :func:`run_push` needs, in one declarative object.
+
+    Attributes:
+        scenario: "precalculated" or "analytical" field handling.
+        layout: Particle storage layout (enum or "AoS"/"SoA").
+        precision: Arithmetic precision (enum or "float"/"double").
+        n_particles: Ensemble size.
+        steps: Measured push steps (after ``warmup``).
+        warmup: Warm-up steps excluded from the steady NSPS (they carry
+            JIT and cold-page cost; the paper's "first iteration is
+            ~1.5x slower" effect).
+        dt: Time step [s]; None means the paper's T/100.
+        device: Device key for single-device runs ("cpu", "p630",
+            "iris-xe-max").
+        group: Device-group spec string ("2x iris-xe-max"); selects the
+            sharded engine.
+        devices: Fallback ladder of device keys; selects the resilient
+            engine (default ladder when only ``fault_plan`` is set).
+        fault_plan: Named fault plan to inject (see
+            :mod:`repro.resilience.plans`).
+        fault_seed: Fault injector RNG seed.
+        fusion: Kernel-graph execution mode: True fuses compatible
+            kernels, False runs the graph unfused, None keeps the
+            legacy single-launch path (no graph, no program-cache
+            interplay beyond the queue's own).
+        diagnostics: Append the kinetic-energy diagnostic kernel to the
+            per-step graph (graph mode only).
+        trace_path: Write a Chrome ``trace_event`` JSON here.
+        checkpoint_every: Step-granular checkpoint cadence for the
+            resilient/sharded engines (0 = no checkpointing).
+        persist_cache: On-disk path for the JIT program cache; warm
+            across *processes*, the simulated analogue of
+            ``SYCL_CACHE_PERSISTENT``.
+    """
+
+    scenario: str = "precalculated"
+    layout: object = Layout.SOA
+    precision: object = Precision.SINGLE
+    n_particles: int = 100_000
+    steps: int = 10
+    warmup: int = 2
+    dt: Optional[float] = None
+    device: str = "iris-xe-max"
+    group: Optional[str] = None
+    devices: Optional[Sequence[str]] = None
+    fault_plan: Optional[str] = None
+    fault_seed: int = 0
+    fusion: Optional[bool] = None
+    diagnostics: bool = False
+    trace_path: Optional[str] = None
+    checkpoint_every: int = 0
+    persist_cache: Optional[str] = None
+
+    def validate(self) -> "RunConfig":
+        """Normalise enums and reject inconsistent combinations."""
+        self.layout = _coerce_layout(self.layout)
+        self.precision = _coerce_precision(self.precision)
+        if self.scenario not in ("precalculated", "analytical"):
+            raise ConfigurationError(
+                f"unknown scenario {self.scenario!r}")
+        if self.n_particles < 1:
+            raise ConfigurationError(
+                f"n_particles must be >= 1, got {self.n_particles}")
+        if self.steps < 1:
+            raise ConfigurationError(f"steps must be >= 1, got {self.steps}")
+        if self.warmup < 0:
+            raise ConfigurationError(
+                f"warmup must be >= 0, got {self.warmup}")
+        if self.group is not None and self.devices is not None:
+            raise ConfigurationError(
+                "group and devices are mutually exclusive: a sharded "
+                "run recovers by redistribution, not by ladder fallback")
+        if self.checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}")
+        return self
+
+    @property
+    def mode(self) -> str:
+        """Which engine the config selects: single/resilient/sharded."""
+        if self.group is not None:
+            return "sharded"
+        if self.devices is not None or self.fault_plan is not None:
+            return "resilient"
+        return "single"
+
+
+@dataclass
+class RunReport:
+    """What one :func:`run_push` call produced.
+
+    ``nsps`` is the steady-state figure of merit (warm-up excluded);
+    ``first_step_nsps`` keeps the cold cost visible so the JIT penalty
+    of a cold program cache can be read off one report.  ``digest`` is
+    the sha256 of the final particle state
+    (:func:`repro.core.stepping.state_digest`) — two configs that must
+    agree bit-for-bit (fused vs unfused) compare digests, not floats.
+    """
+
+    mode: str
+    scenario: str
+    layout: str
+    precision: str
+    device: str
+    n_particles: int
+    steps: int
+    nsps: float
+    first_step_nsps: float
+    simulated_seconds: float
+    digest: str
+    fusion: Optional[bool] = None
+    fusion_groups: int = 0
+    kernels_eliminated: int = 0
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+    recovery: object = None
+    group_report: object = None
+    trace_path: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready flat summary (sub-reports reduced to presence)."""
+        return {
+            "mode": self.mode, "scenario": self.scenario,
+            "layout": self.layout, "precision": self.precision,
+            "device": self.device, "n_particles": self.n_particles,
+            "steps": self.steps, "nsps": self.nsps,
+            "first_step_nsps": self.first_step_nsps,
+            "simulated_seconds": self.simulated_seconds,
+            "digest": self.digest, "fusion": self.fusion,
+            "fusion_groups": self.fusion_groups,
+            "kernels_eliminated": self.kernels_eliminated,
+            "cache_stats": dict(self.cache_stats),
+        }
+
+
+def _make_ensemble(config: RunConfig):
+    from .bench.scenarios import paper_ensemble
+    return paper_ensemble(config.n_particles, config.layout,
+                          config.precision)
+
+
+def _plan_stats(executor) -> Tuple[int, int]:
+    plan = getattr(executor, "last_plan", None) if executor else None
+    if plan is None:
+        return 0, 0
+    return plan.fused_group_count, plan.kernels_eliminated
+
+
+def _steady_nsps(step_seconds: Sequence[float], n: int,
+                 warmup: int) -> float:
+    """Steady-state NSPS over per-step simulated seconds.
+
+    Graph-mode steps can span several launches, so this averages the
+    engine's ``step_seconds`` (whole steps) rather than per-record
+    NSPS, skipping the warm-up steps that carry JIT and cold pages.
+    """
+    steady = step_seconds[warmup:] if len(step_seconds) > warmup \
+        else list(step_seconds)
+    return sum(steady) / len(steady) * 1.0e9 / n
+
+
+def _run_single(config: RunConfig, source, dt: float) -> RunReport:
+    from .bench.calibration import cost_model_for, device_by_name
+    from .core.stepping import state_digest
+    from .oneapi.programcache import ProgramCache
+    from .oneapi.queue import Queue, RuntimeConfig
+    from .oneapi.runtime import PushEngine
+
+    ensemble = _make_ensemble(config)
+    device = device_by_name(config.device)
+    cache = ProgramCache(persist_path=config.persist_cache)
+    queue = Queue(device, RuntimeConfig(runtime="dpcpp"),
+                  cost_model_for(device), program_cache=cache)
+    engine = PushEngine(queue, ensemble, config.scenario, source, dt,
+                        fusion=config.fusion,
+                        diagnostics=config.diagnostics)
+    engine.run(config.warmup + config.steps)
+    groups, eliminated = _plan_stats(getattr(engine, "executor", None))
+    n = config.n_particles
+    return RunReport(
+        mode="single", scenario=config.scenario,
+        layout=config.layout.value, precision=config.precision.value,
+        device=config.device, n_particles=n,
+        steps=config.steps,
+        nsps=_steady_nsps(engine.step_seconds, n, config.warmup),
+        first_step_nsps=engine.step_seconds[0] * 1.0e9 / n,
+        simulated_seconds=queue.timeline.makespan,
+        digest=state_digest(ensemble),
+        fusion=config.fusion, fusion_groups=groups,
+        kernels_eliminated=eliminated,
+        cache_stats=cache.stats.as_dict())
+
+
+def _run_resilient(config: RunConfig, source, dt: float) -> RunReport:
+    from .bench.metrics import nsps_from_records
+    from .core.stepping import state_digest
+    from .oneapi.programcache import ProgramCache
+    from .resilience import (Checkpointer, fault_injection, named_plan)
+    from .resilience.runner import DEVICE_LADDER, ResilientPushEngine
+
+    ensemble = _make_ensemble(config)
+    ladder = tuple(config.devices) if config.devices is not None \
+        else DEVICE_LADDER
+    cache = ProgramCache(persist_path=config.persist_cache)
+
+    def drive(checkpointer):
+        engine = ResilientPushEngine(
+            ensemble, config.scenario, source, dt, devices=ladder,
+            checkpointer=checkpointer, fusion=config.fusion,
+            program_cache=cache)
+        if config.fault_plan is not None:
+            with fault_injection(named_plan(config.fault_plan),
+                                 seed=config.fault_seed):
+                return engine, *engine.run(config.warmup + config.steps)
+        return engine, *engine.run(config.warmup + config.steps)
+
+    if config.checkpoint_every > 0:
+        with tempfile.TemporaryDirectory() as scratch:
+            engine, records, report = drive(
+                Checkpointer(scratch, every=config.checkpoint_every))
+    else:
+        engine, records, report = drive(None)
+    groups, eliminated = _plan_stats(
+        getattr(engine.runner, "executor", None))
+    return RunReport(
+        mode="resilient", scenario=config.scenario,
+        layout=config.layout.value, precision=config.precision.value,
+        device=report.final_device, n_particles=config.n_particles,
+        steps=config.steps,
+        nsps=nsps_from_records(records, skip_warmup=config.warmup),
+        first_step_nsps=records[0].nsps(),
+        simulated_seconds=engine.queue.timeline.makespan,
+        digest=state_digest(ensemble),
+        fusion=config.fusion, fusion_groups=groups,
+        kernels_eliminated=eliminated,
+        cache_stats=cache.stats.as_dict(), recovery=report)
+
+
+def _run_sharded(config: RunConfig, source, dt: float) -> RunReport:
+    from .core.stepping import state_digest
+    from .distributed.group import DeviceGroup, parse_group_spec
+    from .distributed.runner import ShardedPushEngine
+    from .oneapi.programcache import ProgramCache
+    from .resilience import Checkpointer
+
+    ensemble = _make_ensemble(config)
+    cache = ProgramCache(persist_path=config.persist_cache)
+    group = DeviceGroup(parse_group_spec(config.group),
+                        program_cache=cache)
+
+    def drive(checkpointer):
+        engine = ShardedPushEngine(
+            group, ensemble, config.scenario, source, dt,
+            checkpointer=checkpointer, fusion=config.fusion)
+        if config.warmup > 0:
+            engine.run(config.warmup)
+            engine.reset_measurement()
+        return engine.run(config.warmup + config.steps)
+
+    if config.checkpoint_every > 0:
+        with tempfile.TemporaryDirectory() as scratch:
+            report = drive(Checkpointer(scratch,
+                                        every=config.checkpoint_every))
+    else:
+        report = drive(None)
+    return RunReport(
+        mode="sharded", scenario=config.scenario,
+        layout=config.layout.value, precision=config.precision.value,
+        device=config.group, n_particles=config.n_particles,
+        steps=config.steps, nsps=report.nsps, first_step_nsps=report.nsps,
+        simulated_seconds=report.simulated_seconds,
+        digest=state_digest(ensemble),
+        fusion=config.fusion,
+        cache_stats=cache.stats.as_dict(), group_report=report)
+
+
+_RUNNERS = {"single": _run_single, "resilient": _run_resilient,
+            "sharded": _run_sharded}
+
+
+def run_push(config: RunConfig) -> RunReport:
+    """Run a Boris push workload described by ``config``.
+
+    Dispatches to the single-device, resilient or sharded engine (see
+    the module docstring for the selection rules), optionally under
+    the tracer, and returns a :class:`RunReport`.  Every failure
+    surfaces as a :class:`~repro.errors.ReproError` subclass.
+    """
+    from .bench import paper_time_step, paper_wave
+
+    try:
+        config.validate()
+        source = paper_wave()
+        dt = config.dt if config.dt is not None else paper_time_step()
+        runner = _RUNNERS[config.mode]
+        if config.trace_path is not None:
+            from .observability import Tracer, tracing, write_chrome_trace
+            tracer = Tracer()
+            with tracing(tracer):
+                report = runner(config, source, dt)
+            write_chrome_trace(tracer, config.trace_path)
+            report.trace_path = config.trace_path
+        else:
+            report = runner(config, source, dt)
+    except ReproError:
+        raise
+    except Exception as exc:   # the facade guarantee (see _map_error)
+        raise _map_error(exc) from exc
+    return report

@@ -40,6 +40,7 @@ from .harness import (
     fig1_series,
     first_iteration_ratio,
     thread_sweep,
+    fusion_rows,
 )
 from .tables import format_table, comparison_table, PAPER_TABLE2, PAPER_TABLE3
 from .validation import Check, ValidationReport, validate_against_paper
@@ -52,6 +53,7 @@ from .trajectory import (
     flatten_table2,
     flatten_table3,
     flatten_group_report,
+    flatten_fusion,
 )
 
 __all__ = [
@@ -79,6 +81,7 @@ __all__ = [
     "fig1_series",
     "first_iteration_ratio",
     "thread_sweep",
+    "fusion_rows",
     "format_table",
     "comparison_table",
     "PAPER_TABLE2",
@@ -94,4 +97,5 @@ __all__ = [
     "flatten_table2",
     "flatten_table3",
     "flatten_group_report",
+    "flatten_fusion",
 ]

@@ -54,7 +54,8 @@ from .scenarios import (BenchmarkCase, CPU_PARALLELIZATIONS,
                         runtime_config_for)
 
 __all__ = ["ModelResult", "model_push_nsps", "table2_rows", "table3_rows",
-           "fig1_series", "first_iteration_ratio", "thread_sweep"]
+           "fig1_series", "first_iteration_ratio", "thread_sweep",
+           "fusion_rows"]
 
 #: Modelled launches per experiment cell: enough to get past first-touch
 #: and JIT warm-up plus a few steady-state samples.
@@ -257,3 +258,34 @@ def thread_sweep(n: int = PAPER_PARTICLES,
             96: model_push_nsps(case, n, steps, units=48,
                                 threads_per_unit=2).nsps,
         }
+
+
+def fusion_rows(n: int = 200_000, steps: int = 8, warmup: int = 2,
+                device: str = "iris-xe-max") -> "Dict[str, object]":
+    """The kernel-graph fusion artefact: unfused vs fused, cold vs warm.
+
+    Runs the paper's best GPU configuration (precalculated fields,
+    SoA, float) twice through :func:`repro.api.run_push` — once with
+    the per-step kernel graph unfused, once with the fusion pass on —
+    and verifies the two final particle states are bit-identical
+    (fusion only composes the same kernel bodies; it must never change
+    physics).  Returns ``{"unfused": RunReport, "fused": RunReport}``;
+    each report carries the warm steady NSPS, the cold first-step NSPS
+    (one JIT compile per program-cache miss) and the fusion/cache
+    counters — everything ``benchmarks/BENCH_fusion.json`` records.
+    """
+    from ..api import RunConfig, run_push
+    from ..errors import GraphError
+
+    reports: Dict[str, object] = {}
+    with trace_span("fusion-bench", "bench", n_particles=n):
+        for name, fusion in (("unfused", False), ("fused", True)):
+            reports[name] = run_push(RunConfig(
+                scenario="precalculated", layout=Layout.SOA,
+                precision=Precision.SINGLE, n_particles=n, steps=steps,
+                warmup=warmup, device=device, fusion=fusion))
+    if reports["fused"].digest != reports["unfused"].digest:
+        raise GraphError(
+            "fused and unfused runs diverged: fusion must be bit-exact "
+            f"({reports['fused'].digest} != {reports['unfused'].digest})")
+    return reports

@@ -36,7 +36,7 @@ from ..errors import ConfigurationError
 
 __all__ = ["git_sha", "trajectory_path", "append_snapshot",
            "latest_snapshot", "load_trajectory", "flatten_table2",
-           "flatten_table3", "flatten_group_report"]
+           "flatten_table3", "flatten_group_report", "flatten_fusion"]
 
 #: Default directory for trajectory files (the committed benchmarks/).
 DEFAULT_DIRECTORY = "benchmarks"
@@ -145,3 +145,27 @@ def flatten_group_report(report, group_spec: str, layout: str,
              "imbalance": float(report.imbalance),
              "exchange_bytes": int(report.exchange.total_bytes),
              "nsps": float(report.nsps)}]
+
+
+def flatten_fusion(reports: Dict[str, object]) -> List[Dict]:
+    """Flatten :func:`repro.bench.harness.fusion_rows` output.
+
+    One cell per execution mode ("unfused", "fused"), each carrying the
+    warm steady NSPS plus the cold first-step NSPS and the fusion /
+    program-cache counters, so the committed trajectory shows both the
+    fusion win and the JIT penalty a cold cache pays.
+    """
+    cells = []
+    for config, report in reports.items():
+        cells.append({
+            "config": config, "layout": report.layout,
+            "precision": report.precision, "scenario": report.scenario,
+            "device": report.device, "nsps": float(report.nsps),
+            "cold_nsps": float(report.first_step_nsps),
+            "fusion_groups": int(report.fusion_groups),
+            "kernels_eliminated": int(report.kernels_eliminated),
+            "jit_seconds": float(
+                report.cache_stats.get("jit_seconds_charged", 0.0)),
+            "digest": report.digest,
+        })
+    return cells

@@ -29,6 +29,19 @@ drives a resilient push directly::
     python -m repro faults --plan device-loss --steps 20
     python -m repro faults --self-check        # chaos seed matrix
     python -m repro table2 --fault-plan transient --fault-seed 7
+
+``python -m repro push`` is the facade command: one
+:class:`repro.api.RunConfig` driven end to end (single-device,
+resilient or sharded — the mode follows from the flags), with
+``--fusion/--no-fusion`` selecting the kernel-graph execution path and
+``--record`` regenerating the fused-vs-unfused comparison into
+``benchmarks/BENCH_fusion.json``.
+
+Runner commands (``table2 table3 shard faults push``, and ``trace``
+passing through) share one normalized flag set — ``--device``,
+``--group``, ``--precision``, ``--layout``, ``--record``,
+``--record-dir`` — defined once in a parent parser, so every command
+spells them identically.
 """
 
 from __future__ import annotations
@@ -63,9 +76,19 @@ __all__ = ["main"]
 
 def _record_cells(args: argparse.Namespace, scenario: str,
                   cells) -> None:
-    """Append a trajectory snapshot when ``--record`` was given."""
+    """Append a trajectory snapshot when ``--record`` was given.
+
+    The normalized ``--layout/--precision/--device`` flags act as cell
+    filters here: the printed model-vs-paper table always shows every
+    cell (it mirrors the paper's layout), but the recorded snapshot
+    can be narrowed to the cells under study.
+    """
     if not getattr(args, "record", False):
         return
+    for key in ("layout", "precision", "device"):
+        want = getattr(args, key, None)
+        if want is not None:
+            cells = [c for c in cells if c.get(key) == want]
     from .bench.trajectory import append_snapshot
     path = append_snapshot(scenario, cells, args.particles,
                            directory=getattr(args, "record_dir", None))
@@ -222,23 +245,26 @@ def _cmd_devices(args: argparse.Namespace) -> None:
 def _cmd_shard(args: argparse.Namespace) -> None:
     import tempfile
 
+    from .api import _coerce_layout, _coerce_precision
     from .bench.scenarios import paper_ensemble
     from .distributed import (DeviceGroup, ExchangePolicy,
-                              ShardedPushRunner, strategy_by_name)
+                              ShardedPushEngine, strategy_by_name)
     from .resilience import Checkpointer
 
-    ensemble = paper_ensemble(args.shard_particles, Layout.SOA,
-                              Precision.SINGLE)
-    group = DeviceGroup.from_spec(args.group)
+    group_spec = args.group or "2x iris-xe-max"
+    layout = _coerce_layout(args.layout or Layout.SOA)
+    precision = _coerce_precision(args.precision or Precision.SINGLE)
+    ensemble = paper_ensemble(args.shard_particles, layout, precision)
+    group = DeviceGroup.from_spec(group_spec)
     runner_args = dict(
-        strategy=strategy_by_name(args.strategy, Precision.SINGLE),
+        strategy=strategy_by_name(args.strategy, precision),
         policy=ExchangePolicy(halo_fraction=args.halo),
         overlap=not args.no_overlap,
         rebalance_every=args.rebalance_every,
     )
     warmup = min(2, args.steps)
     with tempfile.TemporaryDirectory() as scratch:
-        runner = ShardedPushRunner(
+        runner = ShardedPushEngine(
             group, ensemble, "precalculated", paper_wave(),
             paper_time_step(),
             checkpointer=Checkpointer(scratch,
@@ -254,7 +280,7 @@ def _cmd_shard(args: argparse.Namespace) -> None:
     print(format_table(
         ["shard", "key", "particles", "steps", "busy", "NSPS"],
         rows,
-        f"Sharded push — {args.group!r}, strategy {report.strategy}, "
+        f"Sharded push — {group_spec!r}, strategy {report.strategy}, "
         f"{'overlap' if not args.no_overlap else 'bulk-synchronous'}"))
     print(f"group NSPS {report.nsps:.3f} over {args.steps} steps "
           f"({report.n_particles} particles on {report.n_devices} "
@@ -265,22 +291,22 @@ def _cmd_shard(args: argparse.Namespace) -> None:
           f"rebalances {report.rebalances}, "
           f"redistributions {report.redistributions}")
     if getattr(args, "record", False):
-        from .bench.trajectory import flatten_group_report
-        cells = flatten_group_report(report, args.group, Layout.SOA.value,
-                                     Precision.SINGLE.value,
-                                     "precalculated")
-        from .bench.trajectory import append_snapshot
+        from .bench.trajectory import append_snapshot, flatten_group_report
+        cells = flatten_group_report(report, group_spec, layout.value,
+                                     precision.value, "precalculated")
         path = append_snapshot("shard", cells, args.shard_particles,
                                directory=getattr(args, "record_dir", None))
         print(f"recorded snapshot -> {path}")
 
 
 def _cmd_faults(args: argparse.Namespace) -> None:
+    from .api import _coerce_layout, _coerce_precision
     from .bench import paper_time_step, paper_wave
     from .bench.scenarios import paper_ensemble
     from .bench.metrics import nsps_from_records
-    from .resilience import (Checkpointer, ResilientPushRunner,
-                             chaos_self_check, fault_injection, named_plan)
+    from .resilience import (Checkpointer, chaos_self_check,
+                             fault_injection, named_plan)
+    from .resilience.runner import DEVICE_LADDER, ResilientPushEngine
     import tempfile
 
     if args.self_check:
@@ -298,19 +324,90 @@ def _cmd_faults(args: argparse.Namespace) -> None:
               f"and kept finite physics")
         return
 
-    ensemble = paper_ensemble(args.fault_particles, Layout.SOA,
-                              Precision.SINGLE)
+    layout = _coerce_layout(args.layout or Layout.SOA)
+    precision = _coerce_precision(args.precision or Precision.SINGLE)
+    # --device moves that rung to the front of the fallback ladder
+    ladder = DEVICE_LADDER if args.device is None else \
+        (args.device,) + tuple(d for d in DEVICE_LADDER
+                               if d != args.device)
+    ensemble = paper_ensemble(args.fault_particles, layout, precision)
     with tempfile.TemporaryDirectory() as scratch:
         checkpointer = Checkpointer(scratch, every=args.checkpoint_every)
         with fault_injection(named_plan(args.plan), seed=args.fault_seed):
-            runner = ResilientPushRunner(
+            runner = ResilientPushEngine(
                 ensemble, "precalculated", paper_wave(), paper_time_step(),
-                checkpointer=checkpointer)
+                devices=ladder, checkpointer=checkpointer)
             records, report = runner.run(args.steps)
     print(report.summary())
     if len(records) >= 3:
         print(f"  NSPS with recovery cost folded in: "
               f"{nsps_from_records(records):.2f}")
+
+
+def _cmd_push(args: argparse.Namespace) -> None:
+    from .api import RunConfig, run_push
+
+    if getattr(args, "record", False):
+        # --record regenerates the whole fusion artefact (fused vs
+        # unfused, cold vs warm) — the same convention as table2
+        # --record, which records all 24 cells, not one.
+        from .bench.harness import fusion_rows
+        from .bench.trajectory import append_snapshot, flatten_fusion
+        reports = fusion_rows(n=args.push_particles, steps=args.steps,
+                              warmup=args.warmup,
+                              device=args.device or "iris-xe-max")
+        rows = [[name, f"{r.nsps:.3f}", f"{r.first_step_nsps:.3f}",
+                 r.fusion_groups, r.kernels_eliminated, r.digest[:12]]
+                for name, r in reports.items()]
+        print(format_table(
+            ["config", "warm NSPS", "cold NSPS", "groups", "elided",
+             "digest"],
+            rows, "Kernel-graph fusion — fused vs unfused "
+                  "(identical digests = bit-exact)"))
+        path = append_snapshot("fusion", flatten_fusion(reports),
+                               args.push_particles,
+                               directory=getattr(args, "record_dir", None))
+        print(f"recorded snapshot -> {path}")
+        return
+
+    config = RunConfig(
+        scenario=args.scenario,
+        layout=args.layout or Layout.SOA,
+        precision=args.precision or Precision.SINGLE,
+        n_particles=args.push_particles, steps=args.steps,
+        warmup=args.warmup,
+        device=args.device or "iris-xe-max", group=args.group,
+        fault_plan=getattr(args, "fault_plan", None),
+        fault_seed=getattr(args, "fault_seed", 0),
+        fusion=args.fusion, diagnostics=args.diagnostics,
+        checkpoint_every=args.checkpoint_every,
+        persist_cache=args.persist_cache)
+    report = run_push(config)
+    fusion_label = {None: "legacy", True: "fused", False: "unfused"}
+    rows = [
+        ["mode", report.mode],
+        ["device", report.device],
+        ["scenario/layout/precision",
+         f"{report.scenario}/{report.layout}/{report.precision}"],
+        ["execution", fusion_label[report.fusion]],
+        ["steady NSPS", f"{report.nsps:.3f}"],
+        ["first-step NSPS (cold)", f"{report.first_step_nsps:.3f}"],
+        ["simulated seconds", f"{report.simulated_seconds:.6f}"],
+        ["state digest", report.digest[:16]],
+    ]
+    if report.fusion is not None:
+        rows.append(["fusion groups / kernels elided",
+                     f"{report.fusion_groups} / "
+                     f"{report.kernels_eliminated}"])
+    if report.cache_stats:
+        rows.append(["program cache",
+                     f"{report.cache_stats['hits']:.0f} hits, "
+                     f"{report.cache_stats['misses']:.0f} misses, "
+                     f"{report.cache_stats['jit_seconds_charged']:.2f} s "
+                     f"JIT"])
+    print(format_table(["field", "value"], rows,
+                       f"repro.api.run_push — {report.n_particles} "
+                       f"particles x {report.steps} steps"))
 
 
 def _add_trace_flag(parser: argparse.ArgumentParser, default) -> None:
@@ -332,6 +429,43 @@ def _add_fault_flags(parser: argparse.ArgumentParser, default) -> None:
                              "faults; default 0)")
 
 
+def _runner_parent() -> argparse.ArgumentParser:
+    """The shared flag set of every runner command.
+
+    One definition, attached as an argparse *parent*, so ``table2``,
+    ``table3``, ``shard``, ``faults``, ``push`` and ``trace`` all spell
+    device/group/precision/layout/record selection identically.
+    Commands map each flag onto their own semantics (a table command
+    filters recorded cells; ``shard`` builds its ensemble; ``faults``
+    reorders the fallback ladder).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--device", choices=DEVICE_NAMES, default=None,
+                        help="target device key (command-specific "
+                             "default; for tables, filters recorded "
+                             "cells)")
+    parent.add_argument("--group", default=None, metavar="SPEC",
+                        help="device-group spec: comma-separated keys, "
+                             "each optionally '<n>x <key>' (e.g. "
+                             "'2x iris-xe-max'); selects sharded "
+                             "execution where supported")
+    parent.add_argument("--precision", choices=["float", "double"],
+                        default=None,
+                        help="arithmetic precision (command-specific "
+                             "default)")
+    parent.add_argument("--layout", choices=["AoS", "SoA"], default=None,
+                        help="particle storage layout (command-specific "
+                             "default)")
+    parent.add_argument("--record", action="store_true",
+                        help="append this run's NSPS cells to the "
+                             "command's benchmarks/BENCH_*.json "
+                             "trajectory file")
+    parent.add_argument("--record-dir", default=None, metavar="DIR",
+                        help="directory of the trajectory files "
+                             "(default: ./benchmarks)")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -344,9 +478,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_flag(parser, default=None)
     _add_fault_flags(parser, default=None)
     sub = parser.add_subparsers(dest="command", required=True)
+    parent = _runner_parent()
     commands = [
-        sub.add_parser("table2", help="Table 2: CPU NSPS"),
-        sub.add_parser("table3", help="Table 3: GPU NSPS"),
+        sub.add_parser("table2", help="Table 2: CPU NSPS",
+                       parents=[parent]),
+        sub.add_parser("table3", help="Table 3: GPU NSPS",
+                       parents=[parent]),
         sub.add_parser("fig1", help="Fig. 1: strong-scaling speedup"),
         sub.add_parser("first-iter", help="first-iteration slowdown"),
         sub.add_parser("threads", help="hyperthreading sweep"),
@@ -362,7 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
     escape.add_argument("--escape-particles", type=int, default=5_000)
     escape.add_argument("--cycles", type=int, default=5)
     faults = sub.add_parser(
-        "faults",
+        "faults", parents=[parent],
         help="drive a resilient push under a named fault plan, or run "
              "the chaos self-check matrix")
     from .resilience.plans import PLAN_NAMES
@@ -385,13 +522,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seeds per plan for --self-check (default 3)")
     from .distributed.sharding import STRATEGY_NAMES
     shard = sub.add_parser(
-        "shard",
+        "shard", parents=[parent],
         help="run a sharded push across a multi-device group "
-             "(see docs/DISTRIBUTED.md)")
-    shard.add_argument("--group", default="2x iris-xe-max",
-                       help="group spec: comma-separated device keys, "
-                            "each optionally '<n>x <key>' "
-                            "(default '2x iris-xe-max')")
+             "(see docs/DISTRIBUTED.md; --group defaults to "
+             "'2x iris-xe-max')")
     shard.add_argument("--strategy", choices=STRATEGY_NAMES,
                        default="even",
                        help="sharding strategy (default even)")
@@ -414,6 +548,38 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--checkpoint-every", type=int, default=5,
                        help="checkpoint cadence enabling device-loss "
                             "redistribution (default 5)")
+    push = sub.add_parser(
+        "push", parents=[parent],
+        help="run one push workload through the repro.api facade "
+             "(single-device, resilient or sharded — the mode follows "
+             "from the flags; see docs/API.md)")
+    push.add_argument("--scenario", choices=["precalculated", "analytical"],
+                      default="precalculated",
+                      help="field handling (default precalculated)")
+    push.add_argument("--steps", type=int, default=10,
+                      help="measured push steps (default 10)")
+    push.add_argument("--warmup", type=int, default=2,
+                      help="warm-up steps excluded from steady NSPS "
+                           "(default 2)")
+    push.add_argument("--push-particles", type=int, default=200_000,
+                      help="ensemble size (default 200000; "
+                           "physics-carrying, so keep it modest)")
+    push.add_argument("--fusion", action=argparse.BooleanOptionalAction,
+                      default=None,
+                      help="kernel-graph execution: --fusion fuses "
+                           "compatible kernels, --no-fusion runs the "
+                           "graph unfused; omit both for the legacy "
+                           "single-launch path")
+    push.add_argument("--diagnostics", action="store_true",
+                      help="append the kinetic-energy diagnostic kernel "
+                           "to each step's graph")
+    push.add_argument("--checkpoint-every", type=int, default=0,
+                      help="step-granular checkpoint cadence for "
+                           "resilient/sharded modes (default 0 = off)")
+    push.add_argument("--persist-cache", default=None, metavar="PATH",
+                      help="persist the JIT program cache to this file "
+                           "(warm across processes, like "
+                           "SYCL_CACHE_PERSISTENT)")
     commands += [
         measure,
         escape,
@@ -424,25 +590,15 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_parser("devices", help="list simulated devices"),
         faults,
         shard,
+        push,
     ]
-    for name, command in (("table2", commands[0]), ("table3", commands[1]),
-                          ("shard", shard)):
-        command.add_argument(
-            "--record", action="store_true",
-            help=f"append this run's NSPS cells to "
-                 f"benchmarks/BENCH_{name}.json (the committed "
-                 f"performance trajectory)")
-        command.add_argument(
-            "--record-dir", default=None, metavar="DIR",
-            help="directory of the trajectory files "
-                 "(default: ./benchmarks)")
     for command in commands:
         # accept --trace after the command too; SUPPRESS keeps a value
         # given before the command from being clobbered by the default
         _add_trace_flag(command, default=argparse.SUPPRESS)
         _add_fault_flags(command, default=argparse.SUPPRESS)
     trace = sub.add_parser(
-        "trace",
+        "trace", parents=[parent],
         help="run a benchmark command under the tracer and write a "
              "Chrome trace_event JSON")
     trace.add_argument("trace_command", choices=sorted(TRACEABLE_COMMANDS),
@@ -465,6 +621,7 @@ _COMMANDS = {
     "devices": _cmd_devices,
     "faults": _cmd_faults,
     "shard": _cmd_shard,
+    "push": _cmd_push,
 }
 
 #: Commands `repro trace CMD` accepts: every runner whose only knob is
@@ -513,8 +670,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             _COMMANDS[command](args)
 
     plan_name = getattr(args, "fault_plan", None)
-    if plan_name is not None and command != "faults":
-        # the faults command installs its own injector from --plan
+    if plan_name is not None and command not in ("faults", "push"):
+        # faults installs its own injector from --plan; push routes
+        # --fault-plan through RunConfig (it selects resilient mode)
         from .resilience import fault_injection, named_plan
         with fault_injection(named_plan(plan_name),
                              seed=getattr(args, "fault_seed", 0)):

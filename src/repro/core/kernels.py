@@ -17,13 +17,17 @@ AVX-512 and Gen9 GPUs).
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..fields.base import FieldSource
 from ..fields.precalculated import PrecalculatedField
 from ..particles.ensemble import ParticleEnsemble
 from .boris import boris_push
 
 __all__ = ["boris_push_precalculated", "boris_push_analytical",
-           "BORIS_FLOPS", "GAMMA_FLOPS", "POSITION_FLOPS"]
+           "sample_fields", "kinetic_energy_diagnostic",
+           "BORIS_FLOPS", "GAMMA_FLOPS", "POSITION_FLOPS",
+           "FIELD_STAGE_FLOPS", "DIAGNOSTIC_FLOPS"]
 
 #: Flops of the Boris momentum update per particle-step: two half
 #: kicks (12), rotation vectors t and s incl. one division (~30), two
@@ -37,6 +41,42 @@ GAMMA_FLOPS = 18
 #: Flops of the position drift: velocity coefficient with one division
 #: (~12) and three multiply-adds (6).
 POSITION_FLOPS = 18
+
+#: Flops of *staging* one particle's six already-known field values into
+#: the per-particle arrays (the field-eval graph node of the
+#: precalculated scenario): pure data movement, ~1 op per component.
+#: The analytical scenario adds the source's ``flops_per_evaluation``.
+FIELD_STAGE_FLOPS = 6
+
+#: Flops of the per-particle kinetic-energy diagnostic: one subtraction
+#: on the gamma the push already computed.
+DIAGNOSTIC_FLOPS = 1
+
+
+def sample_fields(fields: PrecalculatedField, source: FieldSource,
+                  ensemble: ParticleEnsemble, t: float) -> None:
+    """Field-evaluation kernel body: sample ``source`` into ``fields``.
+
+    In the kernel-graph execution path (:mod:`repro.oneapi.graph`) this
+    is the *timed* first node of every step — it reads the particle
+    positions and writes the six per-particle field components the push
+    node then loads.  When the fusion pass merges the two nodes those
+    component arrays are elided (the values stay in registers), which
+    is exactly the traffic saving fusion exists for.
+    """
+    fields.refresh(source, ensemble, t)
+
+
+def kinetic_energy_diagnostic(ensemble: ParticleEnsemble,
+                              out: np.ndarray) -> None:
+    """Per-particle kinetic energy in units of ``m c^2``: ``gamma - 1``.
+
+    The optional trailing diagnostics node of a graph step.  It only
+    reads the gamma the push just stored, so it is elementwise and
+    fuses onto the push whenever layout and precision allow.
+    """
+    dtype = ensemble.precision.dtype
+    out[:] = ensemble.component("gamma") - dtype.type(1.0)
 
 
 def boris_push_precalculated(ensemble: ParticleEnsemble,

@@ -30,8 +30,28 @@ from ..particles.ensemble import ParticleEnsemble
 from .boris import BorisPusher
 from .pushers import MomentumPusher
 
-__all__ = ["setup_leapfrog", "undo_leapfrog", "advance",
+__all__ = ["setup_leapfrog", "undo_leapfrog", "advance", "state_digest",
            "TrajectoryRecorder", "integrate_trajectory_rk4"]
+
+#: Component order hashed by :func:`state_digest` (the full dynamic state).
+_DIGEST_COMPONENTS = ("x", "y", "z", "px", "py", "pz", "gamma")
+
+
+def state_digest(ensemble: ParticleEnsemble) -> str:
+    """SHA-256 over the ensemble's dynamic state, as a hex string.
+
+    The bit-exactness witness used by the fusion tests and the bench
+    harness: two runs touched the same physics if and only if their
+    digests match, down to the last ulp.  Hashes the raw bytes of each
+    component in a fixed order, so it is layout-independent only when
+    the stored values are — which is the property under test.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for name in _DIGEST_COMPONENTS:
+        digest.update(np.ascontiguousarray(ensemble.component(name)).tobytes())
+    return digest.hexdigest()
 
 
 def _momentum_half_kick(ensemble: ParticleEnsemble, source: FieldSource,

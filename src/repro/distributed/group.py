@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 from ..bench.calibration import DEVICE_NAMES, cost_model_for, device_by_name
 from ..errors import ConfigurationError
 from ..oneapi.device import DeviceDescriptor, DeviceType
+from ..oneapi.programcache import ProgramCache
 from ..oneapi.queue import NUMA_DOMAINS, Queue, RuntimeConfig
 from .links import LinkDescriptor, LinkTable, default_link_table
 
@@ -120,11 +121,17 @@ class DeviceGroup:
             :meth:`drop` so survivors keep their identities — fault
             state and traces are keyed by instance name, and a renamed
             survivor would inherit the dead member's faults.
+        program_cache: Shared JIT program cache backing every member's
+            queue (one per group by default).  Programs are keyed by
+            device *model*, so shard N+1 of a homogeneous pair never
+            recompiles what shard 0 already built — the simulated
+            analogue of SYCL's per-context program cache.
     """
 
     def __init__(self, keys: Sequence[str],
                  link_table: Optional[LinkTable] = None,
-                 names: Optional[Sequence[str]] = None) -> None:
+                 names: Optional[Sequence[str]] = None,
+                 program_cache: Optional[ProgramCache] = None) -> None:
         if not keys:
             raise ConfigurationError("a device group needs >= 1 device")
         if names is not None and len(names) != len(keys):
@@ -132,6 +139,8 @@ class DeviceGroup:
                 f"got {len(names)} names for {len(keys)} devices")
         self.link_table = link_table if link_table is not None \
             else default_link_table()
+        self.program_cache = program_cache if program_cache is not None \
+            else ProgramCache()
         per_key_count: Dict[str, int] = {}
         self.members: List[GroupMember] = []
         for index, key in enumerate(keys):
@@ -140,9 +149,12 @@ class DeviceGroup:
             per_key_count[key] = instance + 1
             name = names[index] if names is not None \
                 else f"{base.name} #{instance}"
-            device = replace(base, name=name)
+            # The rename keeps cards distinguishable; ``model`` keeps
+            # the JIT identity shared across same-model instances.
+            device = replace(base, name=name, model=base.model or base.name)
             queue = Queue(device, config=_member_config(device),
-                          cost_model=cost_model_for(device))
+                          cost_model=cost_model_for(device),
+                          program_cache=self.program_cache)
             self.members.append(GroupMember(
                 key=key, index=index, device=device, queue=queue,
                 host_link=self.link_table.host_link(key)))
@@ -204,6 +216,9 @@ class DeviceGroup:
         if not survivors:
             raise ConfigurationError(
                 "cannot drop the last device of a group")
+        # Survivors keep the shared program cache: a context rebuild
+        # does not forget already-JIT-compiled programs.
         return DeviceGroup([m.key for m in survivors],
                            link_table=self.link_table,
-                           names=[m.name for m in survivors])
+                           names=[m.name for m in survivors],
+                           program_cache=self.program_cache)

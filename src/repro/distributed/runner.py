@@ -1,9 +1,9 @@
 """The sharded push runner: one workload over a device group.
 
-:class:`ShardedPushRunner` is the distributed counterpart of
-:class:`~repro.oneapi.runtime.PushRunner`: it partitions one master
+:class:`ShardedPushEngine` is the distributed counterpart of
+:class:`~repro.oneapi.runtime.PushEngine`: it partitions one master
 ensemble into contiguous shards (one per group member), drives a real
-per-shard push runner on every member's out-of-order queue, prices the
+per-shard push engine on every member's out-of-order queue, prices the
 per-step halo exchange through the
 :class:`~repro.distributed.exchange.ExchangeModel`, and reassembles the
 master ensemble at every synchronisation point.
@@ -51,7 +51,7 @@ from ..errors import ConfigurationError, DeviceLostError
 from ..fields.base import FieldSource
 from ..observability.tracer import active_tracer, trace_span
 from ..oneapi.events import SimEvent
-from ..oneapi.runtime import PushRunner
+from ..oneapi.runtime import PushEngine
 from ..particles.ensemble import COMPONENTS, ParticleEnsemble
 from ..pic.diagnostics import load_imbalance
 from ..resilience.checkpoint import Checkpointer
@@ -62,7 +62,8 @@ from .exchange import ExchangeModel, ExchangePolicy, ExchangeReport
 from .group import DeviceGroup
 from .sharding import EvenSharding, ShardingStrategy
 
-__all__ = ["ShardReport", "GroupReport", "ShardedPushRunner"]
+__all__ = ["ShardReport", "GroupReport", "ShardedPushEngine",
+           "ShardedPushRunner"]
 
 
 @dataclass
@@ -104,7 +105,7 @@ class _ShardState:
 
     def __init__(self, member, start: int, stop: int,
                  ensemble: Optional[ParticleEnsemble],
-                 runner: Optional[PushRunner]) -> None:
+                 runner: Optional[PushEngine]) -> None:
         self.member = member
         self.start = start
         self.stop = stop
@@ -121,7 +122,7 @@ class _ShardState:
         return self.stop - self.start
 
 
-class ShardedPushRunner:
+class ShardedPushEngine:
     """Drives one ensemble across a device group, step by step.
 
     Args:
@@ -130,7 +131,7 @@ class ShardedPushRunner:
             synchronisation point; holds the final state after
             :meth:`run`).
         scenario: "precalculated" or "analytical".
-        source: Field source (see :class:`~repro.oneapi.runtime.PushRunner`).
+        source: Field source (see :class:`~repro.oneapi.runtime.PushEngine`).
         dt: Time step [s].
         strategy: Sharding strategy (default even split).
         policy: Exchange policy (default :class:`ExchangePolicy`).
@@ -143,6 +144,11 @@ class ShardedPushRunner:
             Without one, a device loss propagates.
         retry_policy / watchdog: Transient-fault recovery knobs
             (defaults as in :mod:`repro.resilience.recovery`).
+        fusion: Kernel-graph execution mode of every shard's
+            :class:`~repro.oneapi.runtime.PushEngine` (None = legacy
+            single-launch path).  All shards share the group's
+            :class:`~repro.oneapi.programcache.ProgramCache`, so only
+            the first shard of each device model pays the JIT cost.
     """
 
     def __init__(self, group: DeviceGroup, ensemble: ParticleEnsemble,
@@ -153,10 +159,12 @@ class ShardedPushRunner:
                  rebalance_every: int = 0,
                  checkpointer: Optional[Checkpointer] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 watchdog: Optional[Watchdog] = None) -> None:
+                 watchdog: Optional[Watchdog] = None,
+                 fusion: Optional[bool] = None) -> None:
         if rebalance_every < 0:
             raise ConfigurationError(
                 f"rebalance_every must be >= 0, got {rebalance_every}")
+        self.fusion = fusion
         self.group = group
         self.ensemble = ensemble
         self.scenario = scenario
@@ -218,8 +226,8 @@ class ShardedPushRunner:
                 shards.append(_ShardState(member, start, stop, None, None))
                 continue
             shard = self.ensemble.select((index >= start) & (index < stop))
-            runner = PushRunner(member.queue, shard, self.scenario,
-                                self.source, self.dt)
+            runner = PushEngine(member.queue, shard, self.scenario,
+                                self.source, self.dt, fusion=self.fusion)
             runner.time = self.time
             shards.append(_ShardState(member, start, stop, shard, runner))
         return shards
@@ -458,3 +466,20 @@ class ShardedPushRunner:
             self.ensemble.size, group.devices))
         self.shards = self._partition(self.counts)
         self.redistributions += 1
+
+
+class ShardedPushRunner(ShardedPushEngine):
+    """Deprecated name of :class:`ShardedPushEngine`.
+
+    Kept as a thin shim so pre-facade code keeps working; new code
+    should call :func:`repro.api.run_push` with a group spec.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        import warnings
+
+        warnings.warn(
+            "ShardedPushRunner is deprecated; use repro.api.run_push() "
+            "or repro.distributed.ShardedPushEngine instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)

@@ -13,12 +13,20 @@ The full catch hierarchy::
     │   ├── MemoryModelError
     │   │   └── AllocationFailedError
     │   ├── KernelError
+    │   │   └── GraphError
     │   ├── DeviceLostError
     │   └── LaunchTimeoutError
     │       └── ExchangeTimeoutError
     ├── FieldError
     ├── SimulationError
     └── TraceError
+
+The :mod:`repro.api` facade guarantees this hierarchy is the *only*
+failure surface: any exception escaping the scheduler, exchange or
+kernel-graph paths that is not already a :class:`ReproError` is wrapped
+into the closest documented class before it reaches the caller (see
+:func:`repro.api.run_push`), so ``except ReproError`` around a facade
+call is exhaustive.
 
 The leaves under :class:`DeviceError` added for the resilience layer
 (:mod:`repro.resilience`) split device failures by recovery semantics:
@@ -108,6 +116,19 @@ class KernelError(DeviceError):
     is self-inconsistent (negative sizes, span smaller than payload) or
     a launch is malformed; validate specs once at build time and reuse
     them, as :func:`repro.oneapi.runtime.build_virtual_push_spec` does.
+    """
+
+
+class GraphError(KernelError):
+    """A kernel graph was built or fused illegally.
+
+    Usage: raised by :mod:`repro.oneapi.graph` when nodes are recorded
+    with inconsistent item counts, when a fusion is requested across a
+    barrier node (deposition, sorting) or across layout/precision
+    boundaries, or when merged specs disagree about a shared stream.
+    The graph is the caller's declaration, so the fix is at the
+    recording site; fusion itself never raises — illegal pairs are
+    simply left unfused by the planner.
     """
 
 

@@ -252,6 +252,51 @@ class Tracer:
                      seconds=seconds, bytes=nbytes, **args)
         self.counter("exchange-bytes", **{name: float(nbytes)})
 
+    # -- kernel-graph events ---------------------------------------------
+
+    def fusion_plan(self, groups: List[List[str]],
+                    kernels_eliminated: int,
+                    refusals: Optional[Dict[str, str]] = None) -> None:
+        """Report one fusion pass over a kernel graph.
+
+        ``groups`` are the planned launch groups as kernel-name lists,
+        ``kernels_eliminated`` the launches saved versus the unfused
+        graph, ``refusals`` the boundaries left unfused and why.
+        Recorded as a ``fusion``-category instant plus a sample of the
+        ``fusion`` counter series, so traces show both the plan shape
+        and the cumulative launch savings.
+        """
+        self.instant(
+            "fusion:plan", "fusion",
+            groups=" | ".join("+".join(g) for g in groups),
+            kernels_eliminated=kernels_eliminated,
+            **({"refusals": "; ".join(f"{k}: {v}" for k, v
+                                      in refusals.items())}
+               if refusals else {}))
+        self.counter("fusion", kernels_eliminated=float(kernels_eliminated),
+                     groups=float(len(groups)))
+
+    def program_cache(self, key: Any, warm: bool,
+                      stats: Optional[Any] = None) -> None:
+        """Report one program-cache lookup.
+
+        ``key`` is duck-typed against
+        :class:`~repro.oneapi.programcache.ProgramKey` (the tracer reads
+        ``chain`` and ``device``); ``stats`` — when given — is the
+        cache's running :class:`~repro.oneapi.programcache.CacheStats`,
+        sampled into the ``program-cache`` counter series so traces
+        show the hit/miss totals over time.
+        """
+        self.instant(
+            f"program-cache:{'hit' if warm else 'miss'}", "jit",
+            chain="+".join(getattr(key, "chain", ())),
+            device=getattr(key, "device", ""))
+        if stats is not None:
+            self.counter("program-cache",
+                         hits=float(stats.hits),
+                         misses=float(stats.misses),
+                         jit_seconds_charged=float(stats.jit_seconds_charged))
+
     # -- resilience events -----------------------------------------------
 
     def fault(self, kind: str, /, **args: Any) -> None:

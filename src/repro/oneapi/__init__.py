@@ -44,10 +44,16 @@ from .builders import make_cpu_descriptor, make_gpu_descriptor
 from .events import SimEvent, Timeline
 from .roofline import RooflinePoint, analyze_kernel
 from .queue import Queue, KernelLaunchRecord, RuntimeConfig
+from .programcache import CacheStats, ProgramCache, ProgramKey
+from .graph import (FusionPass, FusionPlan, GraphExecutor, KernelGraph,
+                    KernelNode, fuse_nodes)
 from .runtime import (
     PUSH_FLOPS,
     build_push_spec,
     build_virtual_push_spec,
+    build_field_eval_spec,
+    build_diagnostics_spec,
+    PushEngine,
     PushRunner,
 )
 
@@ -64,7 +70,19 @@ __all__ = [
     "PUSH_FLOPS",
     "build_push_spec",
     "build_virtual_push_spec",
+    "build_field_eval_spec",
+    "build_diagnostics_spec",
+    "PushEngine",
     "PushRunner",
+    "CacheStats",
+    "ProgramCache",
+    "ProgramKey",
+    "FusionPass",
+    "FusionPlan",
+    "GraphExecutor",
+    "KernelGraph",
+    "KernelNode",
+    "fuse_nodes",
     "DeviceType",
     "DeviceDescriptor",
     "UsmKind",

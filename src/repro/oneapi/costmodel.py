@@ -175,6 +175,46 @@ class CostModel:
             domain_cap *= self.device.smt_domain_efficiency
         return min(domain_cap, units * per_unit)
 
+    # -- planning estimates ----------------------------------------------
+
+    def estimate_spec_seconds(self, spec: KernelSpec, n_items: int,
+                              precision: Precision = Precision.DOUBLE
+                              ) -> float:
+        """Rough steady-state cost of one launch of ``spec``, no schedule.
+
+        The fusion planner (:class:`repro.oneapi.graph.FusionPass`)
+        prices candidate kernels before any schedule or page state
+        exists, so this estimate assumes the whole device at full
+        occupancy with local pages: traffic over aggregate bandwidth
+        (with the cache-residency boost the full model applies, so the
+        planner notices when a *fused* working set falls out of cache)
+        versus flops over aggregate throughput, plus the per-launch
+        overhead — the term fusion actually eliminates.  Warm-up costs
+        (JIT, first touch) are excluded: they are one-off and identical
+        in total either way.
+        """
+        if n_items < 0:
+            raise KernelError(f"n_items must be >= 0, got {n_items}")
+        device = self.device
+        traffic = sum(n_items * s.span_bytes_per_item
+                      * self._stream_multiplier(s)
+                      / self._stream_efficiency(s)
+                      for s in spec.streams)
+        bandwidth = device.total_bandwidth
+        if (spec.working_set_bytes_per_item * n_items
+                < device.cache_per_domain * device.numa_domains):
+            bandwidth *= 4.0
+        memory_time = traffic / bandwidth
+        flops_item = spec.flops_per_item
+        if spec.has_strided_streams \
+                and device.device_type is DeviceType.CPU:
+            flops_item *= self.strided_compute_penalty
+        compute_time = (n_items * flops_item
+                        / device.achievable_flops(precision,
+                                                  device.compute_units))
+        return max(memory_time, compute_time) \
+            + device.kernel_launch_overhead
+
     # -- the launch ---------------------------------------------------------
 
     def time_launch(self, spec: KernelSpec, schedule: Schedule,

@@ -84,6 +84,13 @@ class DeviceDescriptor:
             used by the buffer/accessor model.  Effectively infinite
             for CPUs and integrated GPUs sharing host DRAM; PCIe-bound
             for discrete cards (the Iris Xe Max).
+        model: Hardware model identity shared by all cards of the same
+            kind.  A :class:`~repro.distributed.DeviceGroup` renames
+            its member copies ("Iris Xe Max #1"), but a JIT-compiled
+            program is valid on every card of the model, so program
+            caching keys on :attr:`jit_key`, which prefers this field.
+            Empty means "the name is the model" (the single-device
+            case).
     """
 
     name: str
@@ -106,6 +113,7 @@ class DeviceDescriptor:
     kernel_launch_overhead: float = 5.0e-6
     jit_compile_seconds: float = 0.15
     host_transfer_bandwidth: float = 1.0e15
+    model: str = ""
 
     def __post_init__(self) -> None:
         if self.compute_units < 1:
@@ -133,6 +141,11 @@ class DeviceDescriptor:
             raise ConfigurationError(
                 f"dp_throughput_ratio must be in (0, 1], "
                 f"got {self.dp_throughput_ratio}")
+
+    @property
+    def jit_key(self) -> str:
+        """Program-cache identity: the model when set, else the name."""
+        return self.model or self.name
 
     @property
     def units_per_domain(self) -> int:

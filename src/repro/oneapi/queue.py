@@ -30,6 +30,7 @@ from .device import DeviceDescriptor, DeviceType
 from .events import SimEvent, Timeline
 from .kernelspec import KernelSpec
 from .memory import UsmMemoryManager
+from .programcache import ProgramCache, ProgramKey
 from .scheduler import (DynamicScheduler, GpuScheduler, NumaArenaScheduler,
                         Scheduler, StaticScheduler, ThreadTopology)
 
@@ -107,7 +108,8 @@ class Queue:
 
     def __init__(self, device: DeviceDescriptor,
                  config: Optional[RuntimeConfig] = None,
-                 cost_model: Optional[CostModel] = None) -> None:
+                 cost_model: Optional[CostModel] = None,
+                 program_cache: Optional[ProgramCache] = None) -> None:
         self.device = device
         self.config = config if config is not None else RuntimeConfig()
         self.cost_model = cost_model if cost_model is not None \
@@ -120,7 +122,11 @@ class Queue:
         self.timeline = Timeline(
             in_order=self.config.in_order,
             label=f"{device.name} [q{next(_QUEUE_SEQ)}]")
-        self._jit_cache: set = set()
+        #: Compiled-program registry; pass a shared instance to let
+        #: several queues (the shards of a device group) reuse each
+        #: other's JIT work, as SYCL's per-context program cache does.
+        self.program_cache = program_cache if program_cache is not None \
+            else ProgramCache()
         self._topology = ThreadTopology(device, self.config.units,
                                         self.config.threads_per_unit)
         self._scheduler = self._make_scheduler()
@@ -158,17 +164,21 @@ class Queue:
                      kernel: Optional[Callable[[], None]] = None,
                      precision: Precision = Precision.DOUBLE,
                      depends_on: Optional[List[SimEvent]] = None,
+                     program_key: Optional[ProgramKey] = None,
                      ) -> KernelLaunchRecord:
         """Launch a kernel over ``n_items`` work items.
 
         ``kernel`` (if given) is a no-argument callable performing the
         real vectorized work over the full range; it executes exactly
         once.  The simulated time comes from the cost model and the
-        queue's scheduling policy.  JIT compile time is charged on the
-        first launch of each distinct ``spec.name`` under the dpcpp
-        runtime.  ``depends_on`` orders this launch after other
-        launches' events (only meaningful on out-of-order queues; an
-        in-order queue serializes regardless).
+        queue's scheduling policy.  JIT compile time is charged through
+        the queue's :class:`~repro.oneapi.programcache.ProgramCache` on
+        the first (cold) build of the launch's program under the dpcpp
+        runtime; ``program_key`` overrides the default single-kernel
+        identity — the graph executor passes the fused chain's key so a
+        fused program compiles once as a whole.  ``depends_on`` orders
+        this launch after other launches' events (only meaningful on
+        out-of-order queues; an in-order queue serializes regardless).
         """
         if n_items < 0:
             raise KernelError(f"n_items must be >= 0, got {n_items}")
@@ -181,15 +191,24 @@ class Queue:
             injector.on_launch(self.device.name, spec)
             injector.check_readable(spec)
         schedule = self._scheduler.schedule(n_items, self._topology)
+        if program_key is None:
+            program_key = ProgramKey(chain=(spec.name,),
+                                     device=self.device.jit_key,
+                                     precision=precision.value)
         jit_done = (self.config.runtime == "openmp"
-                    or spec.name in self._jit_cache)
+                    or self.program_cache.is_warm(program_key))
         if not jit_done and injector is not None:
             # A JIT failure leaves the cache cold: the retry compiles
             # (and is charged for) the kernel again.
             injector.on_jit(spec.name, self.device.name)
         timing = self.cost_model.time_launch(
             spec, schedule, precision=precision, jit_compiled=jit_done)
-        self._jit_cache.add(spec.name)
+        if self.config.runtime != "openmp":
+            self.program_cache.build(program_key,
+                                     self.device.jit_compile_seconds)
+            if tracer is not None:
+                tracer.program_cache(program_key, warm=jit_done,
+                                     stats=self.program_cache.stats)
         if injector is not None:
             factor = injector.launch_slowdown(self.device.name, spec.name)
             if factor is not None:
@@ -322,7 +341,12 @@ class Queue:
         self.timeline.reset()
 
     def reset_warmup(self) -> None:
-        """Forget JIT compilations and page homes (fresh-process state)."""
-        self._jit_cache.clear()
+        """Forget JIT compilations and page homes (fresh-process state).
+
+        On a *shared* program cache only this device model's entries
+        are dropped — resetting one shard's queue must not chill
+        programs other device models compiled.
+        """
+        self.program_cache.clear(device=self.device.jit_key)
         for allocation in self.memory.allocations():
             allocation.reset_pages()

@@ -18,10 +18,15 @@ Two spec flavours:
 
 from __future__ import annotations
 
-from typing import Optional
+import warnings
+from typing import List, Optional
 
-from ..core.kernels import (BORIS_FLOPS, GAMMA_FLOPS, POSITION_FLOPS,
-                            boris_push_analytical, boris_push_precalculated)
+import numpy as np
+
+from ..core.kernels import (BORIS_FLOPS, DIAGNOSTIC_FLOPS,
+                            FIELD_STAGE_FLOPS, GAMMA_FLOPS, POSITION_FLOPS,
+                            boris_push_analytical, boris_push_precalculated,
+                            kinetic_energy_diagnostic, sample_fields)
 from ..errors import ConfigurationError
 from ..fields.base import FieldSource
 from ..fields.precalculated import PrecalculatedField
@@ -29,12 +34,14 @@ from ..fp import Precision
 from ..observability.tracer import trace_span
 from ..resilience.faults import active_fault_injector
 from ..particles.ensemble import Layout, ParticleEnsemble
+from .graph import GraphExecutor, KernelGraph, KernelNode
 from .kernelspec import KernelSpec, MemoryStream, StreamKind
 from .memory import UsmMemoryManager
 from .queue import KernelLaunchRecord, Queue
 
 __all__ = ["PUSH_FLOPS", "build_push_spec", "build_virtual_push_spec",
-           "PushRunner"]
+           "build_field_eval_spec", "build_diagnostics_spec",
+           "PushEngine", "PushRunner"]
 
 #: Arithmetic of the Boris push per particle-step (single-precision
 #: equivalent flops): momentum update + two gamma evaluations +
@@ -188,21 +195,135 @@ def build_virtual_push_spec(n: int, layout: Layout, precision: Precision,
                       flops_per_item=flops)
 
 
-class PushRunner:
-    """Drives real Boris steps through a queue, one launch per step.
+def _field_stream_names(layout: Layout) -> tuple:
+    """Names of the per-particle field streams in the given layout."""
+    if layout is Layout.AOS:
+        return ("fields-aos",)
+    return tuple(f"fields-{c}" for c in ("ex", "ey", "ez", "bx", "by", "bz"))
+
+
+def build_field_eval_spec(ensemble: ParticleEnsemble,
+                          precalc: PrecalculatedField,
+                          memory: UsmMemoryManager,
+                          field_flops: float = 0.0,
+                          scenario: str = PRECALCULATED) -> KernelSpec:
+    """Kernel spec of the field-evaluation graph node.
+
+    Reads the particle positions, writes the six per-particle field
+    components of ``precalc``.  ``field_flops`` is the per-particle
+    evaluation cost (the source's ``flops_per_evaluation`` in the
+    analytical scenario; ~0 for the precalculated scenario, where the
+    values are given and the node is pure staging traffic).
+
+    The position streams are declared exactly as the push node declares
+    them (same names, sizes, access shape) so the fusion pass can merge
+    the two nodes; the field streams are declared ``WRITE`` here and
+    ``READ`` by the push — the pair fusion elides.
+    """
+    layout = ensemble.layout
+    precision = ensemble.precision
+    fp = precision.itemsize
+    streams: List[MemoryStream] = []
+    if layout is Layout.AOS:
+        # The record stream is declared with the full particle span,
+        # like the push node: reading three position members pulls the
+        # whole cache-line-spanning record anyway, and identical
+        # declarations are what makes the streams mergeable.
+        allocation = memory.register(ensemble.records,  # type: ignore[attr-defined]
+                                     name="particles-aos")
+        streams.append(MemoryStream(
+            name="particles-aos", kind=StreamKind.READ,
+            bytes_per_item=precision.particle_bytes,
+            span_bytes_per_item=precision.particle_bytes_aligned,
+            contiguous=False, allocation=allocation))
+    else:
+        for component in ("x", "y", "z"):
+            streams.append(MemoryStream(
+                name=f"soa-{component}", kind=StreamKind.READ,
+                bytes_per_item=fp, contiguous=True,
+                allocation=memory.register(ensemble.component(component),
+                                           name=f"soa-{component}")))
+    for stream in _field_streams(layout, precision, ensemble.size,
+                                 memory, precalc):
+        streams.append(MemoryStream(
+            name=stream.name, kind=StreamKind.WRITE,
+            bytes_per_item=stream.bytes_per_item,
+            span_bytes_per_item=stream.span_bytes_per_item,
+            contiguous=stream.contiguous, allocation=stream.allocation))
+    _check_scenario(scenario)
+    name = f"field-eval-{scenario}-{layout.value}-{precision.value}"
+    return KernelSpec(name=name, streams=tuple(streams),
+                      flops_per_item=float(FIELD_STAGE_FLOPS) + float(field_flops))
+
+
+def build_diagnostics_spec(ensemble: ParticleEnsemble,
+                           memory: UsmMemoryManager,
+                           out: np.ndarray) -> KernelSpec:
+    """Kernel spec of the kinetic-energy diagnostics graph node.
+
+    Reads the gamma component the push stored, writes the per-particle
+    energy array ``out`` — elementwise, so it fuses onto the push.
+    """
+    precision = ensemble.precision
+    fp = precision.itemsize
+    if ensemble.layout is Layout.AOS:
+        gamma = MemoryStream(
+            name="particles-aos", kind=StreamKind.READ,
+            bytes_per_item=precision.particle_bytes,
+            span_bytes_per_item=precision.particle_bytes_aligned,
+            contiguous=False,
+            allocation=memory.register(ensemble.records,  # type: ignore[attr-defined]
+                                       name="particles-aos"))
+    else:
+        gamma = MemoryStream(
+            name="soa-gamma", kind=StreamKind.READ, bytes_per_item=fp,
+            contiguous=True,
+            allocation=memory.register(ensemble.component("gamma"),
+                                       name="soa-gamma"))
+    energy = MemoryStream(
+        name="diag-energy", kind=StreamKind.WRITE, bytes_per_item=fp,
+        contiguous=True, allocation=memory.register(out, name="diag-energy"))
+    name = f"diag-energy-{ensemble.layout.value}-{precision.value}"
+    return KernelSpec(name=name, streams=(gamma, energy),
+                      flops_per_item=float(DIAGNOSTIC_FLOPS))
+
+
+class PushEngine:
+    """Drives real Boris steps through a queue.
+
+    Two execution paths share the same physics:
+
+    * **legacy** (``fusion=None``, the default): one timed launch per
+      step, exactly the paper's harness — in the precalculated scenario
+      the field refresh happens *untimed* between launches.
+    * **kernel graph** (``fusion=True``/``False``): each step is
+      recorded as a :class:`~repro.oneapi.graph.KernelGraph` — a timed
+      field-eval node staging the six per-particle field components,
+      the push node loading them, and (with ``diagnostics=True``) a
+      kinetic-energy node — and executed through a
+      :class:`~repro.oneapi.graph.GraphExecutor`.  With ``fusion=True``
+      the cost-model-driven pass merges the nodes, eliding the staged
+      field arrays; with ``False`` every node launches separately (the
+      fusion baseline).  Both run identical kernel bodies in identical
+      order, so fused and unfused state is bit-identical.
 
     Args:
         queue: The simulated queue (device + runtime + scheduling).
         ensemble: The particle ensemble to advance.
         scenario: "precalculated" or "analytical".
-        source: The analytical field source (used directly in the
-            analytical scenario; used to refresh the precalculated
-            array — untimed — in the precalculated scenario).
+        source: The analytical field source (evaluated in-kernel in the
+            analytical scenario; sampled into the precalculated array
+            in the precalculated scenario).
         dt: Time step [s].
+        fusion: None = legacy single-launch path; True/False = graph
+            path with the fusion pass on/off.
+        diagnostics: Record the kinetic-energy node (graph path only).
     """
 
     def __init__(self, queue: Queue, ensemble: ParticleEnsemble,
-                 scenario: str, source: FieldSource, dt: float) -> None:
+                 scenario: str, source: FieldSource, dt: float,
+                 fusion: Optional[bool] = None,
+                 diagnostics: bool = False) -> None:
         _check_scenario(scenario)
         self.queue = queue
         self.ensemble = ensemble
@@ -210,17 +331,75 @@ class PushRunner:
         self.source = source
         self.dt = float(dt)
         self.time = 0.0
-        if scenario == PRECALCULATED:
-            self.precalc: Optional[PrecalculatedField] = \
-                PrecalculatedField(ensemble.size, ensemble.precision,
-                                   ensemble.layout)
-            self.spec = build_push_spec(ensemble, scenario, queue.memory,
-                                        precalc=self.precalc)
-        else:
-            self.precalc = None
-            self.spec = build_push_spec(
-                ensemble, scenario, queue.memory,
-                field_flops=source.flops_per_evaluation)
+        self.fusion = fusion
+        self.diagnostics = bool(diagnostics)
+        #: Simulated seconds of each completed step — in graph mode a
+        #: step can span several launches, so per-record NSPS would
+        #: undercount it; consumers (the facade, the fusion bench)
+        #: average this instead.
+        self.step_seconds: List[float] = []
+        self.executor: Optional[GraphExecutor] = None
+        self.diag_energy: Optional[np.ndarray] = None
+        if fusion is None:
+            if scenario == PRECALCULATED:
+                self.precalc: Optional[PrecalculatedField] = \
+                    PrecalculatedField(ensemble.size, ensemble.precision,
+                                       ensemble.layout)
+                self.spec = build_push_spec(ensemble, scenario, queue.memory,
+                                            precalc=self.precalc)
+            else:
+                self.precalc = None
+                self.spec = build_push_spec(
+                    ensemble, scenario, queue.memory,
+                    field_flops=source.flops_per_evaluation)
+            return
+        # Graph path: both scenarios stage fields through the
+        # per-particle array; the scenarios differ only in the eval
+        # node's arithmetic (staging vs m-dipole formulas).
+        self.precalc = PrecalculatedField(ensemble.size, ensemble.precision,
+                                          ensemble.layout)
+        field_flops = (source.flops_per_evaluation
+                       if scenario == ANALYTICAL else 0.0)
+        self._field_spec = build_field_eval_spec(
+            ensemble, self.precalc, queue.memory, field_flops=field_flops,
+            scenario=scenario)
+        self.spec = build_push_spec(ensemble, PRECALCULATED, queue.memory,
+                                    precalc=self.precalc)
+        if self.diagnostics:
+            self.diag_energy = np.zeros(ensemble.size,
+                                        dtype=ensemble.precision.dtype)
+            self._diag_spec = build_diagnostics_spec(
+                ensemble, queue.memory, self.diag_energy)
+        self.executor = GraphExecutor(queue, fusion=bool(fusion))
+
+    # -- graph recording ---------------------------------------------------
+
+    def record_graph(self) -> KernelGraph:
+        """Record this step's kernel graph (graph path only)."""
+        ensemble = self.ensemble
+        layout = ensemble.layout.value
+        precision = ensemble.precision
+        time_now = self.time
+        graph = KernelGraph()
+        graph.add(KernelNode(
+            spec=self._field_spec, n_items=ensemble.size,
+            body=lambda: sample_fields(self.precalc, self.source,
+                                       ensemble, time_now),
+            layout=layout, precision=precision,
+            transient=frozenset(_field_stream_names(ensemble.layout)),
+            tag="field-eval"))
+        graph.add(KernelNode(
+            spec=self.spec, n_items=ensemble.size,
+            body=lambda: boris_push_precalculated(ensemble, self.precalc,
+                                                  self.dt),
+            layout=layout, precision=precision, tag="push"))
+        if self.diagnostics:
+            graph.add(KernelNode(
+                spec=self._diag_spec, n_items=ensemble.size,
+                body=lambda: kinetic_energy_diagnostic(ensemble,
+                                                       self.diag_energy),
+                layout=layout, precision=precision, tag="diagnostics"))
+        return graph
 
     def step(self, depends_on=None) -> KernelLaunchRecord:
         """One timed push step (plus the untimed field refresh if any).
@@ -244,6 +423,15 @@ class PushRunner:
             injector.on_device_step(self.queue.device.name)
         with trace_span(f"push-step:{self.scenario}", "runner",
                         step_time=self.time):
+            if self.executor is not None:
+                records = self.executor.run(self.record_graph(),
+                                            depends_on=depends_on)
+                self.time += self.dt
+                self.step_seconds.append(
+                    sum(r.simulated_seconds for r in records))
+                # The last record's event is the step's completion —
+                # what dependency chaining (the sharded runner) needs.
+                return records[-1]
             if self.precalc is not None:
                 with trace_span("field-refresh", "runner"):
                     self.precalc.refresh(self.source, self.ensemble,
@@ -263,8 +451,25 @@ class PushRunner:
                 precision=self.ensemble.precision,
                 depends_on=depends_on)
         self.time += self.dt
+        self.step_seconds.append(record.simulated_seconds)
         return record
 
     def run(self, steps: int):
         """Run ``steps`` pushes; returns the list of launch records."""
         return [self.step() for _ in range(steps)]
+
+
+class PushRunner(PushEngine):
+    """Deprecated name of :class:`PushEngine`.
+
+    Kept as a thin shim so pre-facade code keeps working; new code
+    should call :func:`repro.api.run_push` (or construct
+    :class:`PushEngine` directly when driving steps by hand).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "PushRunner is deprecated; use repro.api.run_push() or "
+            "repro.oneapi.PushEngine instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)

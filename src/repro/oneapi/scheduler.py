@@ -190,13 +190,24 @@ class StaticScheduler(Scheduler):
     iteration.
     """
 
+    def __init__(self) -> None:
+        # Deterministic chunking: memoize per (n_items, threads) so the
+        # graph path's several same-range launches per step don't
+        # rebuild identical chunk lists (chunks are immutable; each
+        # call still gets its own Schedule, so tracing is unchanged).
+        self._memo: Dict[tuple, List[Chunk]] = {}
+
     def schedule(self, n_items: int, topology: ThreadTopology) -> Schedule:
         if n_items < 0:
             raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
-        chunks = [Chunk(r.start, r.stop, thread)
-                  for thread, r in enumerate(
-                      _split_even(0, n_items, topology.n_threads))
-                  if r.stop > r.start]
+        key = (n_items, topology.n_threads)
+        chunks = self._memo.get(key)
+        if chunks is None:
+            chunks = self._memo[key] = \
+                [Chunk(r.start, r.stop, thread)
+                 for thread, r in enumerate(
+                     _split_even(0, n_items, topology.n_threads))
+                 if r.stop > r.start]
         return Schedule(chunks, topology, n_items, dynamic=False)
 
 
@@ -345,12 +356,20 @@ class GpuScheduler(Scheduler):
             raise ConfigurationError(
                 f"workgroup_size must be >= 1, got {workgroup_size}")
         self.workgroup_size = int(workgroup_size)
+        # Same memoization as StaticScheduler: GPU dispatches build tens
+        # of thousands of work-group chunks, identical launch to launch.
+        self._memo: Dict[tuple, List[Chunk]] = {}
 
     def schedule(self, n_items: int, topology: ThreadTopology) -> Schedule:
         if n_items < 0:
             raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
-        chunks = []
-        for index, start in enumerate(range(0, n_items, self.workgroup_size)):
-            end = min(start + self.workgroup_size, n_items)
-            chunks.append(Chunk(start, end, index % topology.n_threads))
+        key = (n_items, topology.n_threads)
+        chunks = self._memo.get(key)
+        if chunks is None:
+            chunks = []
+            for index, start in enumerate(range(0, n_items,
+                                                self.workgroup_size)):
+                end = min(start + self.workgroup_size, n_items)
+                chunks.append(Chunk(start, end, index % topology.n_threads))
+            self._memo[key] = chunks
         return Schedule(chunks, topology, n_items, dynamic=False)

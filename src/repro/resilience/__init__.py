@@ -36,7 +36,8 @@ from .recovery import (RecoveryStats, RetryPolicy, Watchdog,
                        allocate_with_retry, launch_with_retry,
                        run_with_retry)
 from .checkpoint import Checkpointer
-from .runner import DEVICE_LADDER, RecoveryReport, ResilientPushRunner
+from .runner import (DEVICE_LADDER, RecoveryReport, ResilientPushEngine,
+                     ResilientPushRunner)
 from .selfcheck import SelfCheckResult, chaos_self_check
 
 __all__ = [
@@ -59,6 +60,7 @@ __all__ = [
     "Checkpointer",
     "DEVICE_LADDER",
     "RecoveryReport",
+    "ResilientPushEngine",
     "ResilientPushRunner",
     "SelfCheckResult",
     "chaos_self_check",

@@ -1,7 +1,7 @@
 """Device fallback: keep a push workload alive across device loss.
 
-:class:`ResilientPushRunner` wraps the plain
-:class:`~repro.oneapi.runtime.PushRunner` with the full recovery
+:class:`ResilientPushEngine` wraps the plain
+:class:`~repro.oneapi.runtime.PushEngine` with the full recovery
 stack: every step runs under
 :func:`~repro.resilience.recovery.run_with_retry` (transient faults),
 and a :class:`~repro.errors.DeviceLostError` walks a *fallback chain*
@@ -16,6 +16,7 @@ an uninterrupted run's — the acceptance bar of the resilience layer.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -27,7 +28,8 @@ from .checkpoint import Checkpointer
 from .faults import active_fault_injector
 from .recovery import RecoveryStats, RetryPolicy, Watchdog, run_with_retry
 
-__all__ = ["DEVICE_LADDER", "RecoveryReport", "ResilientPushRunner"]
+__all__ = ["DEVICE_LADDER", "RecoveryReport", "ResilientPushEngine",
+           "ResilientPushRunner"]
 
 #: Default fallback chain — the paper's Table 3 devices, fastest first.
 DEVICE_LADDER = ("iris-xe-max", "p630", "cpu")
@@ -72,7 +74,7 @@ class RecoveryReport:
         )
 
 
-class ResilientPushRunner:
+class ResilientPushEngine:
     """A Boris push loop that survives the full fault taxonomy.
 
     Args:
@@ -91,15 +93,25 @@ class ResilientPushRunner:
             checkpoint before replaying on the next device.  Without
             one, recovery continues in place (a lost step never mutated
             the ensemble, so the physics stays correct either way).
+        fusion: Kernel-graph execution mode of the underlying
+            :class:`~repro.oneapi.runtime.PushEngine` (None = legacy
+            single-launch path).
+        program_cache: JIT program cache shared across the fallback
+            chain's queue rebuilds; by default the engine owns one, so
+            a re-lost-and-recovered device model never recompiles.
     """
 
     def __init__(self, ensemble, scenario: str, source, dt: float,
                  devices: Tuple[str, ...] = DEVICE_LADDER,
                  policy: Optional[RetryPolicy] = None,
                  watchdog: Optional[Watchdog] = None,
-                 checkpointer: Optional[Checkpointer] = None) -> None:
+                 checkpointer: Optional[Checkpointer] = None,
+                 fusion: Optional[bool] = None,
+                 program_cache=None) -> None:
         if not devices:
             raise ConfigurationError("need at least one device in the chain")
+        from ..oneapi.programcache import ProgramCache
+
         self.ensemble = ensemble
         self.scenario = scenario
         self.source = source
@@ -108,6 +120,9 @@ class ResilientPushRunner:
         self.policy = policy if policy is not None else RetryPolicy()
         self.watchdog = watchdog if watchdog is not None else Watchdog()
         self.checkpointer = checkpointer
+        self.fusion = fusion
+        self.program_cache = program_cache if program_cache is not None \
+            else ProgramCache()
         self.stats = RecoveryStats()
         self.device_index = 0
         self.step_index = 0
@@ -130,7 +145,7 @@ class ResilientPushRunner:
         """
         from ..bench.calibration import cost_model_for, device_by_name
         from ..oneapi.queue import Queue, RuntimeConfig
-        from ..oneapi.runtime import PushRunner
+        from ..oneapi.runtime import PushEngine
 
         device = device_by_name(device_name)
         delays = self.policy.delay_sequence()
@@ -138,9 +153,11 @@ class ResilientPushRunner:
         for attempt in range(self.policy.max_attempts):
             try:
                 queue = Queue(device, RuntimeConfig(runtime="dpcpp"),
-                              cost_model_for(device))
-                runner = PushRunner(queue, self.ensemble, self.scenario,
-                                    self.source, self.dt)
+                              cost_model_for(device),
+                              program_cache=self.program_cache)
+                runner = PushEngine(queue, self.ensemble, self.scenario,
+                                    self.source, self.dt,
+                                    fusion=self.fusion)
             except AllocationFailedError:
                 if attempt + 1 >= self.policy.max_attempts:
                     self.stats.giveups += 1
@@ -246,3 +263,18 @@ class ResilientPushRunner:
         report.restores = self.restores
         report.replayed_steps = self.replayed_steps
         return records, report
+
+
+class ResilientPushRunner(ResilientPushEngine):
+    """Deprecated name of :class:`ResilientPushEngine`.
+
+    Kept as a thin shim so pre-facade code keeps working; new code
+    should call :func:`repro.api.run_push` with a device ladder.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "ResilientPushRunner is deprecated; use repro.api.run_push() "
+            "or repro.resilience.ResilientPushEngine instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, **kwargs)

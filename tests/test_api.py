@@ -1,0 +1,221 @@
+"""The ``repro.api`` facade and the deprecation shims behind it.
+
+One ``RunConfig`` must drive all three engines (single-device,
+resilient, sharded) and produce comparable ``RunReport`` objects; the
+pre-facade runner names must keep working while warning; and every
+failure escaping the facade must be a documented
+:class:`~repro.errors.ReproError` subclass — the error-surfacing
+guarantee stated in :mod:`repro.errors`.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import RunConfig, RunReport, run_push
+from repro.bench import paper_time_step, paper_wave
+from repro.bench.scenarios import paper_ensemble
+from repro.errors import (ConfigurationError, KernelError, ReproError)
+from repro.fp import Precision
+from repro.particles.ensemble import Layout
+
+N = 4096
+STEPS = 5
+
+
+def _config(**kwargs):
+    defaults = dict(n_particles=N, steps=STEPS, warmup=1)
+    defaults.update(kwargs)
+    return RunConfig(**defaults)
+
+
+class TestModeSelection:
+    def test_default_is_single_device(self):
+        assert _config().mode == "single"
+
+    def test_group_selects_sharded(self):
+        assert _config(group="2x iris-xe-max").mode == "sharded"
+
+    def test_ladder_or_fault_plan_selects_resilient(self):
+        assert _config(devices=("p630", "cpu")).mode == "resilient"
+        assert _config(fault_plan="transient").mode == "resilient"
+
+    def test_group_plus_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_push(_config(group="2x cpu", devices=("cpu",)))
+
+
+class TestRunPush:
+    def test_single_device_run(self):
+        report = run_push(_config(fusion=True))
+        assert isinstance(report, RunReport)
+        assert report.mode == "single"
+        assert report.nsps > 0
+        assert report.first_step_nsps > report.nsps  # JIT + cold pages
+        assert report.cache_stats["misses"] == 1
+        assert len(report.digest) == 64
+        assert report.as_dict()["nsps"] == report.nsps
+
+    def test_string_layout_and_precision_accepted(self):
+        report = run_push(_config(layout="aos", precision="double"))
+        assert report.layout == "AoS"
+        assert report.precision == "double"
+
+    def test_resilient_run(self):
+        report = run_push(_config(fault_plan="transient",
+                                  checkpoint_every=2))
+        assert report.mode == "resilient"
+        assert report.recovery is not None
+        assert report.recovery.completed
+
+    def test_sharded_run_shares_program_cache(self):
+        report = run_push(_config(n_particles=8192,
+                                  group="2x iris-xe-max", fusion=True))
+        assert report.mode == "sharded"
+        assert report.group_report.n_devices == 2
+        # one device model => exactly one JIT compile across both shards
+        assert report.cache_stats["misses"] == 1
+
+    def test_all_modes_agree_on_physics(self):
+        digests = {
+            run_push(_config()).digest,
+            run_push(_config(fusion=True)).digest,
+            run_push(_config(group="2x iris-xe-max", fusion=True)).digest,
+            run_push(_config(devices=("iris-xe-max", "cpu"))).digest,
+        }
+        assert len(digests) == 1
+
+    def test_fused_beats_unfused_on_paper_scenario(self):
+        fused = run_push(_config(n_particles=100_000, fusion=True))
+        unfused = run_push(_config(n_particles=100_000, fusion=False))
+        assert fused.digest == unfused.digest
+        assert fused.nsps < unfused.nsps
+        assert fused.kernels_eliminated >= 1
+
+    def test_persist_cache_warms_second_process(self, tmp_path):
+        path = str(tmp_path / "programs.json")
+        cold = run_push(_config(fusion=True, persist_cache=path))
+        warm = run_push(_config(fusion=True, persist_cache=path))
+        assert cold.cache_stats["misses"] == 1
+        assert warm.cache_stats["misses"] == 0
+        assert warm.first_step_nsps < cold.first_step_nsps
+
+    def test_trace_written(self, tmp_path):
+        out = tmp_path / "push.json"
+        report = run_push(_config(trace_path=str(out)))
+        assert report.trace_path == str(out)
+        assert out.exists() and out.stat().st_size > 0
+
+
+class TestErrorSurfacing:
+    def test_bad_layout_is_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            run_push(_config(layout="bogus"))
+
+    def test_bad_scenario_is_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            run_push(_config(scenario="magnetostatic"))
+
+    def test_bad_group_spec_is_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            run_push(_config(group="7 teapots"))
+
+    def test_foreign_exceptions_are_wrapped(self, monkeypatch):
+        # a bug deep in a kernel body must not escape as a bare
+        # RuntimeError: the facade wraps it into the documented
+        # hierarchy with the original chained as __cause__
+        import repro.api as api
+
+        def boom(config, source, dt):
+            raise RuntimeError("numpy blew up")
+        monkeypatch.setitem(api._RUNNERS, "single", boom)
+        with pytest.raises(KernelError) as excinfo:
+            run_push(_config())
+        assert isinstance(excinfo.value, ReproError)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_repro_errors_pass_through_unwrapped(self, monkeypatch):
+        import repro.api as api
+
+        def boom(config, source, dt):
+            raise ConfigurationError("already documented")
+        monkeypatch.setitem(api._RUNNERS, "single", boom)
+        with pytest.raises(ConfigurationError,
+                           match="already documented"):
+            run_push(_config())
+
+
+class TestDeprecationShims:
+    def _queue(self):
+        from repro.bench.calibration import cost_model_for, device_by_name
+        from repro.oneapi.queue import Queue, RuntimeConfig
+        device = device_by_name("iris-xe-max")
+        return Queue(device, RuntimeConfig(runtime="dpcpp"),
+                     cost_model_for(device))
+
+    def test_push_runner_warns_and_works(self):
+        from repro.oneapi.runtime import PushEngine, PushRunner
+        ensemble = paper_ensemble(N, Layout.SOA, Precision.SINGLE)
+        with pytest.warns(DeprecationWarning, match="PushRunner"):
+            runner = PushRunner(self._queue(), ensemble, "precalculated",
+                                paper_wave(), paper_time_step())
+        assert isinstance(runner, PushEngine)
+        assert runner.run(2)
+
+    def test_resilient_push_runner_warns_and_works(self):
+        from repro.resilience import (ResilientPushEngine,
+                                      ResilientPushRunner)
+        ensemble = paper_ensemble(N, Layout.SOA, Precision.SINGLE)
+        with pytest.warns(DeprecationWarning,
+                          match="ResilientPushRunner"):
+            runner = ResilientPushRunner(ensemble, "precalculated",
+                                         paper_wave(), paper_time_step())
+        assert isinstance(runner, ResilientPushEngine)
+        records, report = runner.run(2)
+        assert report.completed
+
+    def test_sharded_push_runner_warns_and_works(self):
+        from repro.distributed import (DeviceGroup, ShardedPushEngine,
+                                       ShardedPushRunner)
+        ensemble = paper_ensemble(N, Layout.SOA, Precision.SINGLE)
+        group = DeviceGroup.from_spec("2x iris-xe-max")
+        with pytest.warns(DeprecationWarning,
+                          match="ShardedPushRunner"):
+            runner = ShardedPushRunner(group, ensemble, "precalculated",
+                                       paper_wave(), paper_time_step())
+        assert isinstance(runner, ShardedPushEngine)
+        assert runner.run(2).steps == 2
+
+    def test_engine_names_do_not_warn(self):
+        from repro.oneapi.runtime import PushEngine
+        ensemble = paper_ensemble(N, Layout.SOA, Precision.SINGLE)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            PushEngine(self._queue(), ensemble, "precalculated",
+                       paper_wave(), paper_time_step())
+
+
+class TestCliNormalizedFlags:
+    def test_runner_commands_share_flag_set(self):
+        from repro.cli import build_parser
+        parser = build_parser()
+        for command in ("table2", "table3", "shard", "faults", "push",
+                        "trace"):
+            if command == "trace":
+                argv = [command, "table2", "--out", "/tmp/x.json"]
+            else:
+                argv = [command]
+            args = parser.parse_args(
+                argv + ["--layout", "SoA", "--precision", "float",
+                        "--record"])
+            assert args.layout == "SoA"
+            assert args.precision == "float"
+            assert args.record is True
+            assert hasattr(args, "device") and hasattr(args, "group")
+
+    def test_push_fusion_flags(self):
+        from repro.cli import build_parser
+        parser = build_parser()
+        assert parser.parse_args(["push"]).fusion is None
+        assert parser.parse_args(["push", "--fusion"]).fusion is True
+        assert parser.parse_args(["push", "--no-fusion"]).fusion is False

@@ -13,9 +13,9 @@ import pytest
 from repro import errors
 from repro.errors import (AllocationFailedError, ConfigurationError,
                           DeviceError, DeviceLostError, ExchangeTimeoutError,
-                          FieldError, KernelError, LaunchTimeoutError,
-                          LayoutError, MemoryModelError, ReproError,
-                          SimulationError, TraceError)
+                          FieldError, GraphError, KernelError,
+                          LaunchTimeoutError, LayoutError, MemoryModelError,
+                          ReproError, SimulationError, TraceError)
 
 #: Every deliberate error class and its direct base, as documented in
 #: the module docstring's catch-hierarchy diagram.
@@ -27,6 +27,7 @@ HIERARCHY = {
     MemoryModelError: DeviceError,
     AllocationFailedError: MemoryModelError,
     KernelError: DeviceError,
+    GraphError: KernelError,
     DeviceLostError: DeviceError,
     LaunchTimeoutError: DeviceError,
     ExchangeTimeoutError: LaunchTimeoutError,
@@ -60,7 +61,7 @@ def test_docstring_mentions_every_class():
 
 def test_device_error_catches_all_runtime_failures():
     for klass in (MemoryModelError, AllocationFailedError, KernelError,
-                  DeviceLostError, LaunchTimeoutError,
+                  GraphError, DeviceLostError, LaunchTimeoutError,
                   ExchangeTimeoutError):
         with pytest.raises(DeviceError):
             raise klass("injected")
