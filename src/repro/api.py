@@ -217,6 +217,7 @@ class RunReport:
     cache_stats: Dict[str, float] = field(default_factory=dict)
     recovery: object = None
     group_report: object = None
+    validation: object = None
     trace_path: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
@@ -261,7 +262,7 @@ def _steady_nsps(step_seconds: Sequence[float], n: int,
     return sum(steady) / len(steady) * 1.0e9 / n
 
 
-def _run_single(config: RunConfig, source, dt: float) -> RunReport:
+def _run_single(config: RunConfig, source, dt: float) -> "_RunOutcome":
     from .bench.calibration import cost_model_for, device_by_name
     from .core.stepping import state_digest
     from .oneapi.programcache import ProgramCache
@@ -279,7 +280,7 @@ def _run_single(config: RunConfig, source, dt: float) -> RunReport:
     engine.run(config.warmup + config.steps)
     groups, eliminated = _plan_stats(getattr(engine, "executor", None))
     n = config.n_particles
-    return RunReport(
+    report = RunReport(
         mode="single", scenario=config.scenario,
         layout=config.layout.value, precision=config.precision.value,
         device=config.device, n_particles=n,
@@ -291,9 +292,10 @@ def _run_single(config: RunConfig, source, dt: float) -> RunReport:
         fusion=config.fusion, fusion_groups=groups,
         kernels_eliminated=eliminated,
         cache_stats=cache.stats.as_dict())
+    return report, ensemble, engine.queues()
 
 
-def _run_resilient(config: RunConfig, source, dt: float) -> RunReport:
+def _run_resilient(config: RunConfig, source, dt: float) -> "_RunOutcome":
     from .bench.metrics import nsps_from_records
     from .core.stepping import state_digest
     from .oneapi.programcache import ProgramCache
@@ -324,7 +326,7 @@ def _run_resilient(config: RunConfig, source, dt: float) -> RunReport:
         engine, records, report = drive(None)
     groups, eliminated = _plan_stats(
         getattr(engine.runner, "executor", None))
-    return RunReport(
+    run_report = RunReport(
         mode="resilient", scenario=config.scenario,
         layout=config.layout.value, precision=config.precision.value,
         device=report.final_device, n_particles=config.n_particles,
@@ -336,9 +338,10 @@ def _run_resilient(config: RunConfig, source, dt: float) -> RunReport:
         fusion=config.fusion, fusion_groups=groups,
         kernels_eliminated=eliminated,
         cache_stats=cache.stats.as_dict(), recovery=report)
+    return run_report, ensemble, engine.queues()
 
 
-def _run_sharded(config: RunConfig, source, dt: float) -> RunReport:
+def _run_sharded(config: RunConfig, source, dt: float) -> "_RunOutcome":
     from .core.stepping import state_digest
     from .distributed.group import DeviceGroup, parse_group_spec
     from .distributed.runner import ShardedPushEngine
@@ -357,15 +360,15 @@ def _run_sharded(config: RunConfig, source, dt: float) -> RunReport:
         if config.warmup > 0:
             engine.run(config.warmup)
             engine.reset_measurement()
-        return engine.run(config.warmup + config.steps)
+        return engine, engine.run(config.warmup + config.steps)
 
     if config.checkpoint_every > 0:
         with tempfile.TemporaryDirectory() as scratch:
-            report = drive(Checkpointer(scratch,
-                                        every=config.checkpoint_every))
+            engine, report = drive(Checkpointer(
+                scratch, every=config.checkpoint_every))
     else:
-        report = drive(None)
-    return RunReport(
+        engine, report = drive(None)
+    run_report = RunReport(
         mode="sharded", scenario=config.scenario,
         layout=config.layout.value, precision=config.precision.value,
         device=config.group, n_particles=config.n_particles,
@@ -374,19 +377,42 @@ def _run_sharded(config: RunConfig, source, dt: float) -> RunReport:
         digest=state_digest(ensemble),
         fusion=config.fusion,
         cache_stats=cache.stats.as_dict(), group_report=report)
+    return run_report, ensemble, engine.queues()
 
+
+#: What every ``_run_*`` returns: the report, the final ensemble, and
+#: the queues the run submitted to (for post-run validation).
+_RunOutcome = Tuple[RunReport, object, Tuple[object, ...]]
 
 _RUNNERS = {"single": _run_single, "resilient": _run_resilient,
             "sharded": _run_sharded}
 
 
-def run_push(config: RunConfig) -> RunReport:
+def _execute(config: RunConfig, source, dt: float,
+             validate: bool) -> RunReport:
+    report, ensemble, queues = _RUNNERS[config.mode](config, source, dt)
+    if validate:
+        from .validation import validate_run
+        report.validation = validate_run(config, ensemble, queues,
+                                         source, dt)
+    return report
+
+
+def run_push(config: RunConfig, validate: bool = False) -> RunReport:
     """Run a Boris push workload described by ``config``.
 
     Dispatches to the single-device, resilient or sharded engine (see
     the module docstring for the selection rules), optionally under
     the tracer, and returns a :class:`RunReport`.  Every failure
     surfaces as a :class:`~repro.errors.ReproError` subclass.
+
+    ``validate=True`` additionally replays every queue's command log
+    through the hazard detector and diffs a particle sample of the
+    final state against the scalar reference pusher
+    (:func:`repro.validation.validate_run`); the evidence lands on
+    ``report.validation``, a failure raises
+    :class:`~repro.errors.HazardError` or
+    :class:`~repro.errors.ValidationError`.
     """
     from .bench import paper_time_step, paper_wave
 
@@ -394,16 +420,19 @@ def run_push(config: RunConfig) -> RunReport:
         config.validate()
         source = paper_wave()
         dt = config.dt if config.dt is not None else paper_time_step()
-        runner = _RUNNERS[config.mode]
         if config.trace_path is not None:
             from .observability import Tracer, tracing, write_chrome_trace
             tracer = Tracer()
-            with tracing(tracer):
-                report = runner(config, source, dt)
-            write_chrome_trace(tracer, config.trace_path)
+            try:
+                with tracing(tracer):
+                    report = _execute(config, source, dt, validate)
+            finally:
+                # Written even when validation raises: the trace holds
+                # the hazard/validation events that explain the failure.
+                write_chrome_trace(tracer, config.trace_path)
             report.trace_path = config.trace_path
         else:
-            report = runner(config, source, dt)
+            report = _execute(config, source, dt, validate)
     except ReproError:
         raise
     except Exception as exc:   # the facade guarantee (see _map_error)

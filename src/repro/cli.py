@@ -213,7 +213,19 @@ def _cmd_validate(args: argparse.Namespace) -> None:
     from .bench.validation import validate_against_paper
     report = validate_against_paper(n=args.particles)
     print(report.render())
-    if not report.all_passed:
+    failed = not report.all_passed
+    if not getattr(args, "no_differential", False):
+        # Differential half: every engine x layout x precision x fusion
+        # combination against the scalar reference (plus per-queue
+        # hazard replay, which raises on a missing depends_on edge).
+        from .validation import run_differential
+        print()
+        diff = run_differential(
+            n=getattr(args, "diff_particles", 192),
+            steps=getattr(args, "diff_steps", 3))
+        print(diff.render())
+        failed = failed or not diff.all_passed
+    if failed:
         raise SystemExit(1)
 
 
@@ -382,7 +394,7 @@ def _cmd_push(args: argparse.Namespace) -> None:
         fusion=args.fusion, diagnostics=args.diagnostics,
         checkpoint_every=args.checkpoint_every,
         persist_cache=args.persist_cache)
-    report = run_push(config)
+    report = run_push(config, validate=getattr(args, "validate", False))
     fusion_label = {None: "legacy", True: "fused", False: "unfused"}
     rows = [
         ["mode", report.mode],
@@ -405,6 +417,13 @@ def _cmd_push(args: argparse.Namespace) -> None:
                      f"{report.cache_stats['misses']:.0f} misses, "
                      f"{report.cache_stats['jit_seconds_charged']:.2f} s "
                      f"JIT"])
+    if report.validation is not None:
+        v = report.validation
+        rows.append(["validation",
+                     f"hazard-free ({v.commands_checked} commands); "
+                     f"max {v.max_ulp:.1f} ULP on {v.worst_component!r} "
+                     f"over {v.checked_particles} particles "
+                     f"(tolerance {v.tolerance:.0f})"])
     print(format_table(["field", "value"], rows,
                        f"repro.api.run_push — {report.n_particles} "
                        f"particles x {report.steps} steps"))
@@ -580,13 +599,32 @@ def build_parser() -> argparse.ArgumentParser:
                       help="persist the JIT program cache to this file "
                            "(warm across processes, like "
                            "SYCL_CACHE_PERSISTENT)")
+    push.add_argument("--validate", action="store_true",
+                      help="after the run, replay every queue through "
+                           "the hazard detector and diff a particle "
+                           "sample against the scalar reference pusher "
+                           "(see docs/VALIDATION.md)")
+    validate = sub.add_parser(
+        "validate",
+        help="check every paper claim against the model, then run the "
+             "differential sweep (every engine x layout x precision x "
+             "fusion vs the scalar reference; see docs/VALIDATION.md)")
+    validate.add_argument("--diff-particles", type=int, default=192,
+                          help="ensemble size of the differential sweep "
+                               "(default 192; the scalar reference is "
+                               "O(N x steps) Python, keep it small)")
+    validate.add_argument("--diff-steps", type=int, default=3,
+                          help="push steps per sweep combination "
+                               "(default 3)")
+    validate.add_argument("--no-differential", action="store_true",
+                          help="paper-claim checks only, skip the "
+                               "differential sweep")
     commands += [
         measure,
         escape,
         sub.add_parser("roofline",
                        help="arithmetic-intensity analysis per device"),
-        sub.add_parser("validate",
-                       help="check every paper claim against the model"),
+        validate,
         sub.add_parser("devices", help="list simulated devices"),
         faults,
         shard,
@@ -649,7 +687,13 @@ def _run_traced(command: str, args: argparse.Namespace, out: str) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes: 0 success, 1 validation failure (``repro validate``),
+    2 usage or configuration error — argparse rejections and any
+    :class:`~repro.errors.ReproError` (a bad ``--group`` spec, an
+    unknown fault plan) both land on 2 with the message on stderr.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     command = args.command
@@ -663,22 +707,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not os.path.isdir(parent):
             parser.error(f"--trace/--out: directory {parent!r} does not "
                          f"exist")
+    plan_name = getattr(args, "fault_plan", None)
+    if plan_name is not None and getattr(args, "record", False):
+        # The trajectory files feed the regression harness; an epoch
+        # whose NSPS carries injected backoff/replay cost would poison
+        # every later comparison against it.
+        parser.error("--record cannot be combined with --fault-plan: "
+                     "faulted-epoch NSPS must not enter the "
+                     "benchmarks/BENCH_*.json trajectory")
+
     def dispatch() -> None:
         if out is not None:
             _run_traced(command, args, out)
         else:
             _COMMANDS[command](args)
 
-    plan_name = getattr(args, "fault_plan", None)
-    if plan_name is not None and command not in ("faults", "push"):
-        # faults installs its own injector from --plan; push routes
-        # --fault-plan through RunConfig (it selects resilient mode)
-        from .resilience import fault_injection, named_plan
-        with fault_injection(named_plan(plan_name),
-                             seed=getattr(args, "fault_seed", 0)):
+    from .errors import ReproError
+    try:
+        if plan_name is not None and command not in ("faults", "push"):
+            # faults installs its own injector from --plan; push routes
+            # --fault-plan through RunConfig (it selects resilient mode)
+            from .resilience import fault_injection, named_plan
+            with fault_injection(named_plan(plan_name),
+                                 seed=getattr(args, "fault_seed", 0)):
+                dispatch()
+        else:
             dispatch()
-    else:
-        dispatch()
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -31,6 +31,7 @@ from typing import Union
 import numpy as np
 
 from ..constants import SPEED_OF_LIGHT
+from ..errors import SimulationError
 from ..fields.base import FieldValues
 from ..fp import FP3
 from ..particles.ensemble import ParticleEnsemble
@@ -104,8 +105,11 @@ def boris_push(ensemble: ParticleEnsemble, fields: FieldValues,
     two = dtype.type(2.0)
     inv_c = dtype.type(1.0 / SPEED_OF_LIGHT)
 
-    mass = ensemble.masses().astype(dtype)
-    charge = ensemble.charges().astype(dtype)
+    # Typed-LUT lookups: the species table is cast to the storage
+    # precision once and gathered per particle, instead of gathering
+    # float64 and casting the O(N) result on every call.
+    mass = ensemble.masses(dtype)
+    charge = ensemble.charges(dtype)
     inv_mc = one / (mass * dtype.type(SPEED_OF_LIGHT))
     e_coeff = charge * dt_fp * half
 
@@ -160,6 +164,15 @@ def boris_push(ensemble: ParticleEnsemble, fields: FieldValues,
         + (pz_new * inv_mc) ** 2
     gamma_new = np.sqrt(one + u2)
     v_coeff = dt_fp / (gamma_new * mass)
+
+    # The whole chain must have stayed in storage precision: a float64
+    # operand anywhere above silently promotes everything after it, and
+    # the stores below would round it away — right answer, wrong (and
+    # unrepresentative) arithmetic.
+    if px_new.dtype != dtype or gamma_new.dtype != dtype:
+        raise SimulationError(
+            f"boris_push drifted out of storage precision: computed "
+            f"{px_new.dtype}/{gamma_new.dtype}, ensemble stores {dtype}")
 
     px[:] = px_new
     py[:] = py_new

@@ -316,6 +316,16 @@ class ShardedPushEngine:
 
     # -- the run loop -----------------------------------------------------
 
+    def queues(self) -> tuple:
+        """Every member queue (uniform across engines).
+
+        One entry per group member, each owning its own shard's address
+        space — the hazard detector must replay them separately, never
+        as one concatenated log, because members reuse stream names for
+        *different* arrays.
+        """
+        return tuple(member.queue for member in self.group.members)
+
     def run(self, steps: int) -> GroupReport:
         """Advance the ensemble ``steps`` pushes across the group."""
         if steps < 0:

@@ -13,12 +13,14 @@ The full catch hierarchy::
     │   ├── MemoryModelError
     │   │   └── AllocationFailedError
     │   ├── KernelError
-    │   │   └── GraphError
+    │   │   ├── GraphError
+    │   │   └── HazardError
     │   ├── DeviceLostError
     │   └── LaunchTimeoutError
     │       └── ExchangeTimeoutError
     ├── FieldError
     ├── SimulationError
+    │   └── ValidationError
     └── TraceError
 
 The :mod:`repro.api` facade guarantees this hierarchy is the *only*
@@ -132,6 +134,22 @@ class GraphError(KernelError):
     """
 
 
+class HazardError(KernelError):
+    """Two simulated commands raced on a shared memory stream.
+
+    Usage: raised by :mod:`repro.validation.hazard` when replaying an
+    out-of-order queue's command log finds a RAW/WAR/WAW pair touching
+    the same declared stream without a ``depends_on`` path ordering
+    them.  The bug is in the submission code (a missing event edge),
+    not in the data: the fix is to thread the earlier command's
+    :class:`~repro.oneapi.events.SimEvent` into the later launch's
+    ``depends_on`` — exactly what
+    :class:`~repro.oneapi.graph.GraphExecutor` does between fused
+    groups.  In-order queues serialize every pair and can never raise
+    this.
+    """
+
+
 class DeviceLostError(DeviceError):
     """The simulated device died mid-run (reset, hang, hot-unplug).
 
@@ -186,6 +204,20 @@ class SimulationError(ReproError):
     and by constructors rejecting unstable setups.  On CFL violations
     reduce ``dt`` (or use the spectral solver, which has no Courant
     limit); on NaNs inspect the last stable step's diagnostics.
+    """
+
+
+class ValidationError(SimulationError):
+    """An engine's result diverged from the scalar Boris reference.
+
+    Usage: raised by :mod:`repro.validation.differential` (and by
+    :func:`repro.api.run_push` with ``validate=True``) when a pushed
+    ensemble drifts past the per-precision ULP tolerance from
+    :func:`repro.core.boris.boris_push_particle`, or when two runs that
+    must be bit-identical (fused vs unfused, sharded gather vs single
+    device) disagree on their sha256 state digests.  The message names
+    the worst component and its measured ULP distance; see
+    ``docs/VALIDATION.md`` for what the tolerances mean.
     """
 
 

@@ -310,6 +310,35 @@ class Tracer:
         instant."""
         self.instant(f"recovery:{action}", "recovery", **args)
 
+    # -- validation events -----------------------------------------------
+
+    def hazard(self, kind: str, earlier: str, later: str,
+               streams: Any, /, **args: Any) -> None:
+        """Report one detected memory hazard.
+
+        ``kind`` is "RAW", "WAR" or "WAW"; ``earlier``/``later`` name
+        the two conflicting commands in submission order; ``streams``
+        are the shared stream names they race on.  Recorded as a
+        ``hazard``-category instant — the detector raises
+        :class:`~repro.errors.HazardError` afterwards, so the trace
+        keeps the evidence even when the exception is caught.
+        """
+        self.instant(f"hazard:{kind}", "hazard",
+                     earlier=earlier, later=later,
+                     streams=",".join(sorted(streams)), **args)
+
+    def validation(self, check: str, passed: bool, /, **args: Any) -> None:
+        """Report one differential-validation check outcome.
+
+        ``check`` identifies the comparison (e.g. ``"ulp:single/AoS"``
+        or ``"digest:sharded-gather"``); ``args`` carry its measured
+        numbers (max ULP distance, digests).  A ``validation``-category
+        instant, so traced runs record what was compared and how close
+        it came to the tolerance, not just pass/fail.
+        """
+        self.instant(f"validation:{'pass' if passed else 'fail'}:{check}",
+                     "validation", **args)
+
 
 # -- the process-wide hook --------------------------------------------------
 

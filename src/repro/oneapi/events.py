@@ -22,7 +22,7 @@ wall time of the whole submission DAG.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..errors import DeviceError
@@ -33,17 +33,27 @@ __all__ = ["SimEvent", "Timeline"]
 #: Sequence numbers for default timeline labels (trace track names).
 _TIMELINE_SEQ = itertools.count()
 
+#: Process-wide event identities.  Two commands can legitimately share
+#: a name and timestamps (e.g. two zero-duration copies), so dependency
+#: edges are matched by this id, never by value.
+_EVENT_SEQ = itertools.count()
+
 
 @dataclass(frozen=True)
 class SimEvent:
     """Completion event of one simulated command.
 
-    Timestamps are seconds on the queue's simulated timeline.
+    Timestamps are seconds on the queue's simulated timeline.  ``seq``
+    is a process-unique identity: the hazard detector
+    (:mod:`repro.validation.hazard`) resolves ``depends_on`` edges
+    through it, so equality of two events means *the same command*, not
+    merely equal timestamps.
     """
 
     name: str
     start: float
     end: float
+    seq: int = field(default_factory=_EVENT_SEQ.__next__)
 
     @property
     def duration(self) -> float:

@@ -109,17 +109,18 @@ class KernelNode:
 
     @property
     def reads(self) -> FrozenSet[str]:
-        """Stream names this node reads (incl. read-modify-write)."""
-        return frozenset(s.name for s in self.spec.streams
-                         if s.kind in (StreamKind.READ,
-                                       StreamKind.READ_WRITE))
+        """Stream names this node reads (incl. read-modify-write).
+
+        Delegates to :attr:`KernelSpec.reads` so the graph IR, the
+        queue's command log and the hazard detector share one
+        derivation of declared access.
+        """
+        return self.spec.reads
 
     @property
     def writes(self) -> FrozenSet[str]:
         """Stream names this node writes (incl. read-modify-write)."""
-        return frozenset(s.name for s in self.spec.streams
-                         if s.kind in (StreamKind.WRITE,
-                                       StreamKind.READ_WRITE))
+        return self.spec.writes
 
 
 class KernelGraph:
@@ -361,12 +362,19 @@ class GraphExecutor:
     """
 
     def __init__(self, queue, fusion: bool = True,
-                 fusion_pass: Optional[FusionPass] = None) -> None:
+                 fusion_pass: Optional[FusionPass] = None,
+                 validate: bool = False) -> None:
         self.queue = queue
         self.fusion = bool(fusion)
         self.fusion_pass = fusion_pass if fusion_pass is not None \
             else FusionPass(queue.cost_model)
         self.last_plan: Optional[FusionPlan] = None
+        #: When True, every :meth:`run` replays the launches it just
+        #: submitted through the hazard detector and raises
+        #: :class:`~repro.errors.HazardError` on a missing
+        #: ``depends_on`` edge — a per-step race check for graphs on
+        #: out-of-order queues.
+        self.validate = bool(validate)
 
     def run(self, graph: KernelGraph, depends_on=None) -> List:
         """Execute the graph; returns one launch record per group."""
@@ -413,4 +421,8 @@ class GraphExecutor:
                                streams=",".join(elided))
             records.append(record)
             deps = [record.event] if record.event is not None else None
+        if self.validate:
+            from ..validation.hazard import assert_hazard_free
+            assert_hazard_free(self.queue.commands[-len(records):],
+                               in_order=self.queue.timeline.in_order)
         return records

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 from ..errors import KernelError
 from .memory import UsmAllocation
@@ -105,6 +105,25 @@ class KernelSpec:
     def has_strided_streams(self) -> bool:
         """True when any stream is non-contiguous (AoS component access)."""
         return any(not s.contiguous for s in self.streams)
+
+    @property
+    def reads(self) -> FrozenSet[str]:
+        """Stream names this kernel reads (incl. read-modify-write).
+
+        The single source of truth for *declared* access: the kernel
+        graph's nodes and the queue's command log — and hence the
+        hazard detector — all derive their read/write sets here.
+        """
+        return frozenset(s.name for s in self.streams
+                         if s.kind in (StreamKind.READ,
+                                       StreamKind.READ_WRITE))
+
+    @property
+    def writes(self) -> FrozenSet[str]:
+        """Stream names this kernel writes (incl. read-modify-write)."""
+        return frozenset(s.name for s in self.streams
+                         if s.kind in (StreamKind.WRITE,
+                                       StreamKind.READ_WRITE))
 
     def payload_bytes_per_item(self) -> float:
         """Useful bytes per item across all streams (reads + writes once)."""

@@ -104,9 +104,13 @@ class ProgramCache:
             When given, previously persisted entries are loaded at
             construction (they count as warm — the cross-process cache
             hit of ``SYCL_CACHE_PERSISTENT``) and every new build is
-            appended.  A missing file means a cold cache; a corrupt
-            file raises :class:`~repro.errors.ConfigurationError`
-            rather than silently serving garbage.
+            appended.  A missing, truncated or otherwise corrupt file
+            means a *cold* cache, exactly like a real JIT cache whose
+            directory was damaged: the builds recompile (and are
+            charged), and the next build rewrites the file whole.  A
+            corrupt load is reported through the active tracer
+            (``program-cache:corrupt``), never raised — a stale cache
+            file must not be able to kill a run.
 
     Thread-safe: shards of a device group build programs concurrently
     in principle, so entry/stat updates take a lock.
@@ -189,6 +193,8 @@ class ProgramCache:
     # -- persistence -----------------------------------------------------
 
     def _load(self) -> None:
+        from ..observability.tracer import active_tracer
+
         try:
             with open(self.persist_path, "r", encoding="utf-8") as handle:
                 document = json.load(handle)
@@ -196,10 +202,16 @@ class ProgramCache:
                 raise KeyError("version")
             keys = [ProgramKey.from_dict(entry)
                     for entry in document["programs"]]
-        except (OSError, ValueError, KeyError, TypeError) as exc:
-            raise ConfigurationError(
-                f"{self.persist_path} is not a program-cache file: {exc}"
-            ) from exc
+        except (OSError, ValueError, KeyError, TypeError,
+                ConfigurationError) as exc:
+            # Torn write, truncation, wrong file: start cold.  The next
+            # cold build calls _save_locked and rewrites the file whole.
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.instant("program-cache:corrupt", "jit",
+                               path=str(self.persist_path),
+                               error=f"{type(exc).__name__}: {exc}")
+            return
         for key in keys:
             self._entries[key] = 0
             self._persisted.add(key)

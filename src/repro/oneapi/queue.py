@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..errors import ConfigurationError, KernelError
 from ..fp import Precision
@@ -34,7 +34,7 @@ from .programcache import ProgramCache, ProgramKey
 from .scheduler import (DynamicScheduler, GpuScheduler, NumaArenaScheduler,
                         Scheduler, StaticScheduler, ThreadTopology)
 
-__all__ = ["RuntimeConfig", "KernelLaunchRecord", "Queue"]
+__all__ = ["RuntimeConfig", "KernelLaunchRecord", "CommandRecord", "Queue"]
 
 #: Value of the environment variable the paper sets for NUMA arenas.
 NUMA_DOMAINS = "numa_domains"
@@ -103,6 +103,27 @@ class KernelLaunchRecord:
         return self.timing.nsps(self.n_items)
 
 
+@dataclass(frozen=True)
+class CommandRecord:
+    """One entry of a queue's command log: what a command touched.
+
+    The log is the evidence the hazard detector
+    (:mod:`repro.validation.hazard`) replays: ``reads``/``writes`` are
+    the stream names the command *declared* (via its
+    :class:`~repro.oneapi.kernelspec.KernelSpec` for kernels, or the
+    explicit sets a :meth:`Queue.memcpy_async` caller passes), and
+    ``depends_on`` are the event edges it was ordered after.  A pair of
+    commands that conflict on a stream without a ``depends_on`` path
+    between them is a race on an out-of-order queue.
+    """
+
+    name: str
+    event: SimEvent
+    reads: FrozenSet[str]
+    writes: FrozenSet[str]
+    depends_on: Tuple[SimEvent, ...]
+
+
 class Queue:
     """An in-order queue on one simulated device."""
 
@@ -119,6 +140,10 @@ class Queue:
                 "cost_model was built for a different device")
         self.memory = UsmMemoryManager()
         self.records: List[KernelLaunchRecord] = []
+        #: Submission-ordered log of every command (kernel launches and
+        #: async copies) with its declared access sets and dependency
+        #: edges — the input of :func:`repro.validation.hazard.find_hazards`.
+        self.commands: List[CommandRecord] = []
         self.timeline = Timeline(
             in_order=self.config.in_order,
             label=f"{device.name} [q{next(_QUEUE_SEQ)}]")
@@ -245,6 +270,9 @@ class Queue:
         record = KernelLaunchRecord(spec.name, n_items, precision, timing,
                                     event=event)
         self.records.append(record)
+        self.commands.append(CommandRecord(
+            name=spec.name, event=event, reads=spec.reads,
+            writes=spec.writes, depends_on=tuple(depends_on or ())))
         if tracer is not None:
             tracer.kernel_launch(spec.name, n_items, timing,
                                  wall_seconds=wall_seconds)
@@ -277,8 +305,9 @@ class Queue:
 
     def memcpy_async(self, name: str, nbytes: int, *,
                      bandwidth: float, latency: float = 0.0,
-                     depends_on: Optional[List[SimEvent]] = None
-                     ) -> SimEvent:
+                     depends_on: Optional[List[SimEvent]] = None,
+                     reads: Iterable[str] = (),
+                     writes: Iterable[str] = ()) -> SimEvent:
         """Model an asynchronous copy command on this queue's timeline.
 
         The simulated analogue of ``sycl::queue::memcpy``: a transfer
@@ -292,6 +321,10 @@ class Queue:
         copy raises :class:`~repro.errors.ExchangeTimeoutError`
         *before* anything is charged, so the caller can burn the
         watchdog window and re-issue it.
+
+        ``reads``/``writes`` optionally declare the stream names the
+        copy touches, so it participates in hazard detection like a
+        kernel launch; an undeclared copy is invisible to the detector.
         """
         if nbytes < 0:
             raise KernelError(f"nbytes must be >= 0, got {nbytes}")
@@ -305,10 +338,14 @@ class Queue:
         if injector is not None:
             injector.on_exchange(self.device.name, name, nbytes)
         seconds = latency + nbytes / bandwidth
-        return self.timeline.schedule(
+        event = self.timeline.schedule(
             name, seconds, depends_on=depends_on,
             trace_args={"bytes": nbytes, "bandwidth": bandwidth,
                         "latency": latency})
+        self.commands.append(CommandRecord(
+            name=name, event=event, reads=frozenset(reads),
+            writes=frozenset(writes), depends_on=tuple(depends_on or ())))
+        return event
 
     def create_buffer(self, data, name: str = ""):
         """Create a :class:`~repro.oneapi.buffer.Buffer` on this queue's
@@ -335,9 +372,10 @@ class Queue:
         return sum(r.simulated_seconds for r in self.records)
 
     def reset_records(self) -> None:
-        """Clear launch records and the timeline (keeps JIT cache and
-        page state)."""
+        """Clear launch records, the command log and the timeline
+        (keeps JIT cache and page state)."""
         self.records.clear()
+        self.commands.clear()
         self.timeline.reset()
 
     def reset_warmup(self) -> None:

@@ -458,6 +458,15 @@ class PushEngine:
         """Run ``steps`` pushes; returns the list of launch records."""
         return [self.step() for _ in range(steps)]
 
+    def queues(self) -> tuple:
+        """Every queue this engine submits to (uniform across engines).
+
+        The validation layer replays each returned queue's command log
+        through the hazard detector; all three engines expose the same
+        method so callers need not know the engine shape.
+        """
+        return (self.queue,)
+
 
 class PushRunner(PushEngine):
     """Deprecated name of :class:`PushEngine`.

@@ -120,10 +120,25 @@ class Schedule:
         #: scheduler; the cost model applies the dynamic-runtime
         #: efficiency factor when true.
         self.dynamic = dynamic
-        covered = sum(c.size for c in chunks)
-        if covered != n_items:
+        # Exact disjoint tiling of [0, n_items): a plain item-count sum
+        # would accept overlapping chunks compensated by gaps — two
+        # threads pushing the same particles while others are skipped,
+        # the intra-launch analogue of the inter-launch hazards
+        # :mod:`repro.validation.hazard` detects.
+        expected = 0
+        for chunk in sorted(chunks, key=lambda c: c.start):
+            if chunk.start < expected:
+                raise ConfigurationError(
+                    f"schedule chunks overlap at item {chunk.start} "
+                    f"(thread {chunk.thread})")
+            if chunk.start > expected:
+                raise ConfigurationError(
+                    f"schedule leaves items [{expected}, {chunk.start}) "
+                    f"uncovered")
+            expected = chunk.end
+        if expected != n_items:
             raise ConfigurationError(
-                f"schedule covers {covered} items, expected {n_items}")
+                f"schedule covers {expected} items, expected {n_items}")
         tracer = active_tracer()
         if tracer is not None and not topology.is_subset:
             tracer.instant("schedule", "scheduler",

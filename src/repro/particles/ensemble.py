@@ -167,13 +167,17 @@ class ParticleEnsemble(abc.ABC):
 
     # -- physics helpers ----------------------------------------------------
 
-    def masses(self) -> np.ndarray:
-        """Per-particle rest masses [g] (float64)."""
-        return self._type_table.masses_of(self.type_ids)
+    def masses(self, dtype=None) -> np.ndarray:
+        """Per-particle rest masses [g] (float64, or ``dtype``).
 
-    def charges(self) -> np.ndarray:
-        """Per-particle charges [statC] (float64)."""
-        return self._type_table.charges_of(self.type_ids)
+        A ``dtype`` gathers from the type table's cached typed LUT —
+        the storage-precision path the kernels use every step.
+        """
+        return self._type_table.masses_of(self.type_ids, dtype=dtype)
+
+    def charges(self, dtype=None) -> np.ndarray:
+        """Per-particle charges [statC] (float64, or ``dtype``)."""
+        return self._type_table.charges_of(self.type_ids, dtype=dtype)
 
     def update_gammas(self) -> None:
         """Recompute the stored gamma component from the momenta.

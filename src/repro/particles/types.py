@@ -8,7 +8,7 @@ single copy".  :class:`ParticleTypeTable` is that table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -53,6 +53,13 @@ class ParticleTypeTable:
         self._by_name: Dict[str, int] = {}
         self._mass_lut = np.zeros(0, dtype=np.float64)
         self._charge_lut = np.zeros(0, dtype=np.float64)
+        # Per-dtype (mass, charge) LUT casts, built on first use and
+        # invalidated on registration: the push kernels look species
+        # constants up in storage precision every step, and casting the
+        # table once (O(#species)) beats casting per-particle results
+        # (O(N)) on every call.
+        self._typed_luts: Dict[np.dtype,
+                               Tuple[np.ndarray, np.ndarray]] = {}
 
     def register(self, species: ParticleSpecies) -> int:
         """Register a species and return its new type id.
@@ -74,6 +81,15 @@ class ParticleTypeTable:
         n = len(self._species)
         self._mass_lut = np.array([self._species[i].mass for i in range(n)])
         self._charge_lut = np.array([self._species[i].charge for i in range(n)])
+        self._typed_luts.clear()
+
+    def _luts_for(self, dtype) -> Tuple[np.ndarray, np.ndarray]:
+        key = np.dtype(dtype)
+        luts = self._typed_luts.get(key)
+        if luts is None:
+            luts = (self._mass_lut.astype(key), self._charge_lut.astype(key))
+            self._typed_luts[key] = luts
+        return luts
 
     def __len__(self) -> int:
         return len(self._species)
@@ -102,15 +118,29 @@ class ParticleTypeTable:
         """Charge [statC] of the species with the given id."""
         return self[type_id].charge
 
-    def masses_of(self, type_ids: np.ndarray) -> np.ndarray:
-        """Vectorized mass lookup for an array of type ids."""
-        self._check_ids(type_ids)
-        return self._mass_lut[type_ids]
+    def masses_of(self, type_ids: np.ndarray,
+                  dtype: Optional[np.dtype] = None) -> np.ndarray:
+        """Vectorized mass lookup for an array of type ids.
 
-    def charges_of(self, type_ids: np.ndarray) -> np.ndarray:
-        """Vectorized charge lookup for an array of type ids."""
+        ``dtype`` selects a cached cast of the table (storage-precision
+        lookups gather from an O(#species) typed LUT instead of casting
+        the O(N) result); None keeps the float64 master table.
+        """
         self._check_ids(type_ids)
-        return self._charge_lut[type_ids]
+        if dtype is None:
+            return self._mass_lut[type_ids]
+        return self._luts_for(dtype)[0][type_ids]
+
+    def charges_of(self, type_ids: np.ndarray,
+                   dtype: Optional[np.dtype] = None) -> np.ndarray:
+        """Vectorized charge lookup for an array of type ids.
+
+        ``dtype`` behaves as in :meth:`masses_of`.
+        """
+        self._check_ids(type_ids)
+        if dtype is None:
+            return self._charge_lut[type_ids]
+        return self._luts_for(dtype)[1][type_ids]
 
     def _check_ids(self, type_ids: np.ndarray) -> None:
         ids = np.asarray(type_ids)

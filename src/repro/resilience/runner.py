@@ -223,6 +223,15 @@ class ResilientPushEngine:
                     self.step_index, self.ensemble, self.time)
             return record
 
+    def queues(self) -> tuple:
+        """Every queue this engine submits to (uniform across engines).
+
+        Only the *current* queue: a device loss abandons the old
+        queue's timeline mid-flight, so its command log is not a
+        completed schedule the hazard detector should judge.
+        """
+        return (self.queue,)
+
     def run(self, steps: int) -> Tuple[List[object], RecoveryReport]:
         """Run ``steps`` pushes; returns ``(records, report)``.
 

@@ -13,9 +13,10 @@ import pytest
 from repro import errors
 from repro.errors import (AllocationFailedError, ConfigurationError,
                           DeviceError, DeviceLostError, ExchangeTimeoutError,
-                          FieldError, GraphError, KernelError,
+                          FieldError, GraphError, HazardError, KernelError,
                           LaunchTimeoutError, LayoutError, MemoryModelError,
-                          ReproError, SimulationError, TraceError)
+                          ReproError, SimulationError, TraceError,
+                          ValidationError)
 
 #: Every deliberate error class and its direct base, as documented in
 #: the module docstring's catch-hierarchy diagram.
@@ -28,11 +29,13 @@ HIERARCHY = {
     AllocationFailedError: MemoryModelError,
     KernelError: DeviceError,
     GraphError: KernelError,
+    HazardError: KernelError,
     DeviceLostError: DeviceError,
     LaunchTimeoutError: DeviceError,
     ExchangeTimeoutError: LaunchTimeoutError,
     FieldError: ReproError,
     SimulationError: ReproError,
+    ValidationError: SimulationError,
     TraceError: ReproError,
 }
 

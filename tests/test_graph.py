@@ -246,11 +246,37 @@ class TestProgramCache:
         assert reloaded.stats.persisted_hits == 1
         assert reloaded.stats.jit_seconds_charged == 0.0
 
-    def test_corrupt_persist_file_rejected(self, tmp_path):
+    def test_corrupt_persist_file_falls_back_cold(self, tmp_path):
         path = tmp_path / "programs.json"
         path.write_text("{not json")
-        with pytest.raises(ConfigurationError):
+        cache = ProgramCache(persist_path=str(path))
+        assert not cache.is_warm(self.KEY)
+        # The cold rebuild is charged and rewrites the file whole...
+        assert cache.build(self.KEY, 0.3) == 0.3
+        # ...so the next process loads it warm again.
+        reloaded = ProgramCache(persist_path=str(path))
+        assert reloaded.is_warm(self.KEY)
+
+    def test_truncated_persist_file_falls_back_cold(self, tmp_path):
+        path = tmp_path / "programs.json"
+        warm = ProgramCache(persist_path=str(path))
+        warm.build(self.KEY, 0.3)
+        full = path.read_text()
+        path.write_text(full[:len(full) // 2])  # torn write
+        cache = ProgramCache(persist_path=str(path))
+        assert not cache.is_warm(self.KEY)
+        assert cache.build(self.KEY, 0.3) == 0.3
+
+    def test_corrupt_persist_file_reported_to_tracer(self, tmp_path):
+        from repro.observability import Tracer, tracing
+
+        path = tmp_path / "programs.json"
+        path.write_text('{"version": 1, "programs": [{"chain": []}]}')
+        tracer = Tracer()
+        with tracing(tracer):
             ProgramCache(persist_path=str(path))
+        names = [e.name for e in tracer.instants]
+        assert "program-cache:corrupt" in names
 
     def test_reset_warmup_clears_only_own_device(self):
         cache = ProgramCache()
