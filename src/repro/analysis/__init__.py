@@ -1,19 +1,46 @@
-"""Physics analysis tools built on the core library.
+"""Physics and performance analysis tools built on the core library.
 
-Currently: the particle-escape study that motivates the paper's
-benchmark (:mod:`repro.analysis.escape`).
+* :mod:`repro.analysis.escape` — the particle-escape study that
+  motivates the paper's benchmark;
+* :mod:`repro.analysis.roofline` — whole-graph roofline
+  classification: every launch group of a (possibly fused) kernel
+  graph labelled compute- or memory-bound per device;
+* :mod:`repro.analysis.autotune` — the roofline-driven autotuner
+  behind ``RunConfig(config="auto")`` / ``repro push --auto``.
 """
 
+from .autotune import (
+    CALIBRATION_TOLERANCE,
+    Candidate,
+    CandidatePrediction,
+    TuningReport,
+    apply_candidate,
+    check_calibration,
+    enumerate_candidates,
+    tune,
+)
 from .escape import (
     EscapeCurve,
     remaining_fraction,
     run_escape_study,
     escape_rate_sweep,
 )
+from .roofline import GraphRoofline, GroupRoofline, analyze_graph
 
 __all__ = [
     "EscapeCurve",
     "remaining_fraction",
     "run_escape_study",
     "escape_rate_sweep",
+    "GraphRoofline",
+    "GroupRoofline",
+    "analyze_graph",
+    "CALIBRATION_TOLERANCE",
+    "Candidate",
+    "CandidatePrediction",
+    "TuningReport",
+    "apply_candidate",
+    "check_calibration",
+    "enumerate_candidates",
+    "tune",
 ]

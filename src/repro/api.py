@@ -32,6 +32,12 @@ Quickstart::
     report = run_push(RunConfig(n_particles=100_000, steps=10,
                                 device="iris-xe-max", fusion=True))
     print(report.nsps, report.cache_stats["misses"])
+
+    # or let the roofline-driven autotuner pick layout, precision and
+    # the execution path (see docs/TUNING.md):
+    report = run_push(RunConfig(config="auto", device="cpu"))
+    print(report.tuning.best.candidate.label,
+          report.predicted_nsps, report.nsps)
 """
 
 from __future__ import annotations
@@ -134,6 +140,26 @@ class RunConfig:
         persist_cache: On-disk path for the JIT program cache; warm
             across *processes*, the simulated analogue of
             ``SYCL_CACHE_PERSISTENT``.
+        config: ``"auto"`` hands layout/precision/fusion (plus SMT
+            tiling and shard strategy where the mode exposes them) to
+            the roofline-driven autotuner
+            (:mod:`repro.analysis.autotune`): the run executes the
+            predicted-best candidate, the report carries the ranked
+            :class:`~repro.analysis.autotune.TuningReport` and the
+            predicted-vs-measured comparison.  ``None`` (default) runs
+            the config as written.
+        threads_per_unit: Hardware threads per core for single-device
+            CPU runs (1 = SMT off, None = all; the paper's 48-vs-96
+            thread axis).  Set by the autotuner's tiling search.
+        strategy: Shard-split strategy name for group runs ("even",
+            "bandwidth", "flops", "nsps"); None keeps the engine's
+            even default.
+        tune_device: Pricing-only device descriptor override for the
+            autotuner — a calibration experiment: predictions use this
+            (hypothetical, e.g. datasheet-derived) descriptor while
+            the run executes on the calibrated one, so a deliberate
+            gap surfaces as calibration warnings.  Leave None outside
+            such experiments.
     """
 
     scenario: str = "precalculated"
@@ -153,6 +179,10 @@ class RunConfig:
     trace_path: Optional[str] = None
     checkpoint_every: int = 0
     persist_cache: Optional[str] = None
+    config: Optional[str] = None
+    threads_per_unit: Optional[int] = None
+    strategy: Optional[str] = None
+    tune_device: Optional[object] = None
 
     def validate(self) -> "RunConfig":
         """Normalise enums and reject inconsistent combinations."""
@@ -176,6 +206,28 @@ class RunConfig:
         if self.checkpoint_every < 0:
             raise ConfigurationError(
                 f"checkpoint_every must be >= 0, got {self.checkpoint_every}")
+        if self.config not in (None, "auto"):
+            raise ConfigurationError(
+                f"config must be None or 'auto', got {self.config!r}")
+        if self.threads_per_unit is not None:
+            if self.threads_per_unit < 1:
+                raise ConfigurationError(
+                    f"threads_per_unit must be >= 1, "
+                    f"got {self.threads_per_unit}")
+            if self.mode != "single":
+                raise ConfigurationError(
+                    "threads_per_unit applies to single-device runs "
+                    "only; the resilient and sharded engines do not "
+                    "expose SMT tiling")
+        if self.strategy is not None:
+            from .distributed.sharding import STRATEGY_NAMES
+            if self.strategy not in STRATEGY_NAMES:
+                raise ConfigurationError(
+                    f"unknown strategy {self.strategy!r}; expected one "
+                    f"of {STRATEGY_NAMES}")
+            if self.mode != "sharded":
+                raise ConfigurationError(
+                    "strategy needs a device group (set group=...)")
         return self
 
     @property
@@ -198,6 +250,13 @@ class RunReport:
     the sha256 of the final particle state
     (:func:`repro.core.stepping.state_digest`) — two configs that must
     agree bit-for-bit (fused vs unfused) compare digests, not floats.
+
+    Autotuned runs (``config="auto"``) additionally carry ``tuning``
+    (the ranked :class:`~repro.analysis.autotune.TuningReport`),
+    ``predicted_nsps`` (the winner's prediction, to compare against
+    the measured ``nsps``) and ``calibration_warnings`` — non-empty
+    when measurement and prediction disagree beyond the calibration
+    tolerance (see ``docs/TUNING.md``).
     """
 
     mode: str
@@ -219,10 +278,13 @@ class RunReport:
     group_report: object = None
     validation: object = None
     trace_path: Optional[str] = None
+    tuning: object = None
+    predicted_nsps: Optional[float] = None
+    calibration_warnings: List[str] = field(default_factory=list)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready flat summary (sub-reports reduced to presence)."""
-        return {
+        summary = {
             "mode": self.mode, "scenario": self.scenario,
             "layout": self.layout, "precision": self.precision,
             "device": self.device, "n_particles": self.n_particles,
@@ -234,6 +296,11 @@ class RunReport:
             "kernels_eliminated": self.kernels_eliminated,
             "cache_stats": dict(self.cache_stats),
         }
+        if self.predicted_nsps is not None:
+            summary["predicted_nsps"] = self.predicted_nsps
+            summary["calibration_warnings"] = \
+                list(self.calibration_warnings)
+        return summary
 
 
 def _make_ensemble(config: RunConfig):
@@ -272,7 +339,9 @@ def _run_single(config: RunConfig, source, dt: float) -> "_RunOutcome":
     ensemble = _make_ensemble(config)
     device = device_by_name(config.device)
     cache = ProgramCache(persist_path=config.persist_cache)
-    queue = Queue(device, RuntimeConfig(runtime="dpcpp"),
+    queue = Queue(device,
+                  RuntimeConfig(runtime="dpcpp",
+                                threads_per_unit=config.threads_per_unit),
                   cost_model_for(device), program_cache=cache)
     engine = PushEngine(queue, ensemble, config.scenario, source, dt,
                         fusion=config.fusion,
@@ -345,6 +414,7 @@ def _run_sharded(config: RunConfig, source, dt: float) -> "_RunOutcome":
     from .core.stepping import state_digest
     from .distributed.group import DeviceGroup, parse_group_spec
     from .distributed.runner import ShardedPushEngine
+    from .distributed.sharding import strategy_by_name
     from .oneapi.programcache import ProgramCache
     from .resilience import Checkpointer
 
@@ -352,10 +422,13 @@ def _run_sharded(config: RunConfig, source, dt: float) -> "_RunOutcome":
     cache = ProgramCache(persist_path=config.persist_cache)
     group = DeviceGroup(parse_group_spec(config.group),
                         program_cache=cache)
+    strategy = strategy_by_name(config.strategy, config.precision) \
+        if config.strategy is not None else None
 
     def drive(checkpointer):
         engine = ShardedPushEngine(
             group, ensemble, config.scenario, source, dt,
+            strategy=strategy,
             checkpointer=checkpointer, fusion=config.fusion)
         if config.warmup > 0:
             engine.run(config.warmup)
@@ -390,7 +463,18 @@ _RUNNERS = {"single": _run_single, "resilient": _run_resilient,
 
 def _execute(config: RunConfig, source, dt: float,
              validate: bool) -> RunReport:
+    tuning = None
+    if config.config == "auto":
+        from .analysis.autotune import (apply_candidate, check_calibration,
+                                        tune)
+        tuning = tune(config)
+        config = apply_candidate(config, tuning.best.candidate)
     report, ensemble, queues = _RUNNERS[config.mode](config, source, dt)
+    if tuning is not None:
+        report.tuning = tuning
+        report.predicted_nsps = tuning.best.predicted_nsps
+        report.calibration_warnings = check_calibration(
+            tuning.best, report.nsps, tuning.target)
     if validate:
         from .validation import validate_run
         report.validation = validate_run(config, ensemble, queues,

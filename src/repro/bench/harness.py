@@ -55,7 +55,7 @@ from .scenarios import (BenchmarkCase, CPU_PARALLELIZATIONS,
 
 __all__ = ["ModelResult", "model_push_nsps", "table2_rows", "table3_rows",
            "fig1_series", "first_iteration_ratio", "thread_sweep",
-           "fusion_rows"]
+           "fusion_rows", "autotune_rows"]
 
 #: Modelled launches per experiment cell: enough to get past first-touch
 #: and JIT warm-up plus a few steady-state samples.
@@ -289,3 +289,39 @@ def fusion_rows(n: int = 200_000, steps: int = 8, warmup: int = 2,
             "fused and unfused runs diverged: fusion must be bit-exact "
             f"({reports['fused'].digest} != {reports['unfused'].digest})")
     return reports
+
+
+def autotune_rows(n: int = 50_000, steps: int = 6, warmup: int = 2,
+                  device: str = "iris-xe-max") -> "Dict[str, object]":
+    """The autotuner acceptance artefact: auto vs every candidate.
+
+    Runs ``RunConfig(config="auto")`` once, then *measures* every
+    candidate the tuner enumerated by running it through the same
+    facade — the simulated-clock ground truth the predictions are
+    judged against.  Returns ``{"auto": RunReport,
+    "candidates": {label: RunReport}}``; the auto report carries the
+    :class:`~repro.analysis.autotune.TuningReport` and the
+    predicted-vs-measured comparison.
+
+    The smoke assertion (CI's autotune job,
+    ``benchmarks/bench_autotune.py``) is that the auto pick's measured
+    warm NSPS is no worse than the worst measured candidate — i.e. the
+    search cannot select a pessimal config — and within the
+    calibration tolerance of its own prediction.
+    """
+    from ..analysis.autotune import apply_candidate, enumerate_candidates
+    from ..api import RunConfig, run_push
+
+    def base() -> "RunConfig":
+        return RunConfig(scenario="precalculated", n_particles=n,
+                         steps=steps, warmup=warmup, device=device)
+
+    with trace_span("autotune-bench", "bench", n_particles=n):
+        auto_config = base()
+        auto_config.config = "auto"
+        auto = run_push(auto_config)
+        candidates: Dict[str, object] = {}
+        for candidate in enumerate_candidates(base()):
+            candidates[candidate.label] = run_push(
+                apply_candidate(base(), candidate))
+    return {"auto": auto, "candidates": candidates}

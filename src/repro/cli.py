@@ -393,8 +393,17 @@ def _cmd_push(args: argparse.Namespace) -> None:
         fault_seed=getattr(args, "fault_seed", 0),
         fusion=args.fusion, diagnostics=args.diagnostics,
         checkpoint_every=args.checkpoint_every,
-        persist_cache=args.persist_cache)
+        persist_cache=args.persist_cache,
+        config="auto" if getattr(args, "auto", False) else None)
     report = run_push(config, validate=getattr(args, "validate", False))
+    if report.tuning is not None:
+        print(format_table(
+            ["candidate", "predicted NSPS", "bound"],
+            [[p.candidate.label, f"{p.predicted_nsps:.3f}", p.bound]
+             for p in report.tuning.ranked],
+            f"Autotuner search — {report.tuning.mode} mode on "
+            f"{report.tuning.target!r} (best first; see docs/TUNING.md)"))
+        print()
     fusion_label = {None: "legacy", True: "fused", False: "unfused"}
     rows = [
         ["mode", report.mode],
@@ -424,9 +433,16 @@ def _cmd_push(args: argparse.Namespace) -> None:
                      f"max {v.max_ulp:.1f} ULP on {v.worst_component!r} "
                      f"over {v.checked_particles} particles "
                      f"(tolerance {v.tolerance:.0f})"])
+    if report.predicted_nsps is not None:
+        rows.append(["autotuned",
+                     f"{report.tuning.best.candidate.label} — predicted "
+                     f"{report.predicted_nsps:.3f} NSPS, measured "
+                     f"{report.nsps:.3f}"])
     print(format_table(["field", "value"], rows,
                        f"repro.api.run_push — {report.n_particles} "
                        f"particles x {report.steps} steps"))
+    for warning in report.calibration_warnings:
+        print(f"warning: {warning}")
 
 
 def _add_trace_flag(parser: argparse.ArgumentParser, default) -> None:
@@ -589,6 +605,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "compatible kernels, --no-fusion runs the "
                            "graph unfused; omit both for the legacy "
                            "single-launch path")
+    push.add_argument("--auto", action="store_true",
+                      help="let the roofline-driven autotuner pick "
+                           "layout, precision and execution path "
+                           "(overrides --layout/--precision/--fusion; "
+                           "prints the ranked search and the "
+                           "predicted-vs-measured NSPS — see "
+                           "docs/TUNING.md)")
     push.add_argument("--diagnostics", action="store_true",
                       help="append the kinetic-energy diagnostic kernel "
                            "to each step's graph")
@@ -715,6 +738,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--record cannot be combined with --fault-plan: "
                      "faulted-epoch NSPS must not enter the "
                      "benchmarks/BENCH_*.json trajectory")
+    if getattr(args, "auto", False) and getattr(args, "record", False):
+        # --record replays the fixed fused-vs-unfused artefact; an
+        # autotuned pick would record whichever config won today.
+        parser.error("--record cannot be combined with --auto: "
+                     "trajectory epochs must compare fixed configs")
 
     def dispatch() -> None:
         if out is not None:

@@ -339,6 +339,21 @@ class Tracer:
         self.instant(f"validation:{'pass' if passed else 'fail'}:{check}",
                      "validation", **args)
 
+    # -- autotuning events -----------------------------------------------
+
+    def autotune(self, event: str, /, **args: Any) -> None:
+        """Report one autotuner event as an ``autotune``-category instant.
+
+        ``event`` is the stage: ``"search"`` (one candidate priced),
+        ``"selected"`` (the winning config), ``"calibrated"`` (measured
+        NSPS landed within tolerance of the prediction) or
+        ``"mispredict"`` (it did not — the cost model's picture of the
+        device disagrees with the simulated measurement; see
+        ``docs/TUNING.md`` for how to read these).  ``args`` carry the
+        candidate label and the predicted/measured numbers.
+        """
+        self.instant(f"autotune:{event}", "autotune", **args)
+
 
 # -- the process-wide hook --------------------------------------------------
 

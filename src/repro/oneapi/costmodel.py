@@ -37,7 +37,7 @@ choice is documented against the paper number it was fitted to.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -213,6 +213,112 @@ class CostModel:
                         / device.achievable_flops(precision,
                                                   device.compute_units))
         return max(memory_time, compute_time) \
+            + device.kernel_launch_overhead
+
+    def predict_launch_seconds(self, spec: KernelSpec, n_items: int,
+                               precision: Precision = Precision.DOUBLE,
+                               units: Optional[int] = None,
+                               threads_per_unit: Optional[int] = None
+                               ) -> float:
+        """Predict one *warm* steady-state launch, no schedule or pages.
+
+        Where :meth:`estimate_spec_seconds` is the fusion planner's
+        comparator (pure kernel cost, overheads excluded so margins
+        compare kernels, not runtimes), this is the autotuner's
+        measurement predictor: it adds the terms a warm launch of the
+        facade's configuration actually pays —
+
+        * the runtime's scheduling overhead (per-chunk TBB bookkeeping
+          on CPUs, the work-group dispatch barrier on GPUs) and the
+          dynamic-runtime efficiency penalty;
+        * per-domain bandwidth walls, SMT effects included: one thread
+          per unit forfeits the SMT bandwidth boost *and* pays the
+          domain-efficiency discount, exactly as
+          :meth:`_domain_bandwidth` charges a real schedule;
+        * NUMA blindness: the plain-DPC++ dynamic schedule scatters
+          chunks across sockets while first-touch homes pages
+          uniformly, so ``1 - 1/numa_domains`` of the traffic crosses
+          the interconnect — usually the binding constraint on the
+          two-socket CPU, as in the paper's non-NUMA DPC++ rows.
+
+        ``units``/``threads_per_unit`` default to the whole device
+        (the facade's occupancy); pass ``threads_per_unit=1`` to
+        predict an SMT-off run.
+        """
+        if n_items < 0:
+            raise KernelError(f"n_items must be >= 0, got {n_items}")
+        device = self.device
+        if units is None:
+            units = device.compute_units
+        tpu = device.threads_per_unit if threads_per_unit is None \
+            else threads_per_unit
+        if units < 1 or tpu < 1:
+            raise KernelError("units and threads_per_unit must be >= 1")
+        n_threads = units * tpu
+
+        # -- memory side: per-domain walls, mirroring _domain_bandwidth --
+        traffic = sum(n_items * s.span_bytes_per_item
+                      * self._stream_multiplier(s)
+                      / self._stream_efficiency(s)
+                      for s in spec.streams)
+        per_unit = device.unit_bandwidth
+        domain_cap = device.domain_bandwidth
+        if tpu >= 2:
+            per_unit *= device.smt_bandwidth_boost
+        else:
+            domain_cap *= device.smt_domain_efficiency
+        domains = device.numa_domains
+        units_per_domain = max(1, units // domains)
+        domain_bw = min(domain_cap, units_per_domain * per_unit)
+        cache_resident = (spec.working_set_bytes_per_item * n_items
+                          < device.cache_per_domain * domains)
+        if cache_resident:
+            domain_bw *= 4.0     # same LLC-streaming boost as _finish
+        memory_time = (traffic / domains) / domain_bw if traffic else 0.0
+        if domains > 1 and traffic:
+            remote = traffic * (domains - 1) / domains
+            memory_time = max(memory_time,
+                              remote / device.interconnect_bandwidth)
+
+        # -- compute side ------------------------------------------------
+        flops_item = spec.flops_per_item
+        if spec.has_strided_streams \
+                and device.device_type is DeviceType.CPU:
+            flops_item *= self.strided_compute_penalty
+        per_unit_flops = device.clock_hz * device.flops_per_cycle_sp \
+            * device.vector_efficiency
+        if precision is Precision.DOUBLE:
+            per_unit_flops *= device.dp_throughput_ratio
+        if device.device_type is DeviceType.GPU:
+            # Work-group occupancy: fixed-size groups dispatch
+            # round-robin over EU hardware threads (GpuScheduler), so
+            # a small grid piles sibling groups onto few EUs instead
+            # of spreading across all of them — the busiest EU, not
+            # the mean, sets the compute time.
+            from .scheduler import DEFAULT_WORKGROUP_SIZE as wg
+            chunks = -(-n_items // wg) if n_items else 0
+            per_thread = -(-chunks // n_threads) if chunks else 0
+            busiest = min(n_items, tpu * per_thread * wg)
+        else:
+            busiest = n_items / units
+        compute_time = busiest * flops_item / per_unit_flops
+
+        # -- scheduling and runtime overheads ----------------------------
+        if device.device_type is DeviceType.CPU:
+            # The facade's plain-DPC++ CPU path is TBB-dynamic.
+            penalty = (1.0 / self.dynamic_efficiency
+                       + self.single_thread_excess / n_threads)
+            memory_time *= penalty
+            compute_time *= penalty
+            # auto_partitioner grain: 16 grains per thread (the
+            # DynamicScheduler default), claimed round-robin.
+            grain = max(1, n_items // (n_threads * 16))
+            chunks = -(-n_items // grain) if n_items else 0
+            scheduling = -(-chunks // n_threads) \
+                * self.dynamic_chunk_overhead
+        else:
+            scheduling = self.static_launch_barrier
+        return max(memory_time, compute_time) + scheduling \
             + device.kernel_launch_overhead
 
     # -- the launch ---------------------------------------------------------

@@ -51,7 +51,7 @@ from .kernelspec import KernelSpec, MemoryStream, StreamKind
 from .programcache import ProgramKey
 
 __all__ = ["KernelNode", "KernelGraph", "FusionPlan", "FusionPass",
-           "fuse_nodes", "GraphExecutor"]
+           "fuse_nodes", "group_spec", "unfused_plan", "GraphExecutor"]
 
 
 @dataclass
@@ -339,8 +339,23 @@ class FusionPass:
 
 # -- execution -----------------------------------------------------------
 
-def _unfused_plan(graph: KernelGraph) -> FusionPlan:
+def unfused_plan(graph: KernelGraph) -> FusionPlan:
+    """Degenerate plan: one launch per node (the fusion baseline)."""
     return FusionPlan(groups=[[i] for i in range(len(graph))])
+
+
+def group_spec(nodes: Sequence[KernelNode]) -> Tuple[KernelSpec,
+                                                     Tuple[str, ...]]:
+    """The spec one planned group launches as, plus its elided streams.
+
+    A single node launches its own spec; a multi-node group launches
+    the merged spec of :func:`fuse_nodes`.  Shared by the executor (to
+    launch) and the graph-level roofline analyzer (to classify), so
+    both always see the same stream dedup and transient elision.
+    """
+    if len(nodes) == 1:
+        return nodes[0].spec, ()
+    return fuse_nodes(nodes)
 
 
 class GraphExecutor:
@@ -383,7 +398,7 @@ class GraphExecutor:
         if not len(graph):
             return []
         plan = self.fusion_pass.plan(graph) if self.fusion \
-            else _unfused_plan(graph)
+            else unfused_plan(graph)
         self.last_plan = plan
         tracer = active_tracer()
         if tracer is not None and self.fusion:
@@ -397,10 +412,7 @@ class GraphExecutor:
         deps = depends_on
         for group_indices in plan.groups:
             nodes = [graph.nodes[i] for i in group_indices]
-            if len(nodes) == 1:
-                spec, elided = nodes[0].spec, ()
-            else:
-                spec, elided = fuse_nodes(nodes)
+            spec, elided = group_spec(nodes)
             bodies = [n.body for n in nodes if n.body is not None]
 
             def body(bodies=bodies) -> None:

@@ -41,7 +41,8 @@ from .queue import KernelLaunchRecord, Queue
 
 __all__ = ["PUSH_FLOPS", "build_push_spec", "build_virtual_push_spec",
            "build_field_eval_spec", "build_diagnostics_spec",
-           "PushEngine", "PushRunner"]
+           "build_virtual_field_eval_spec", "build_virtual_diagnostics_spec",
+           "build_virtual_step_graph", "PushEngine", "PushRunner"]
 
 #: Arithmetic of the Boris push per particle-step (single-precision
 #: equivalent flops): momentum update + two gamma evaluations +
@@ -175,13 +176,16 @@ def build_push_spec(ensemble: ParticleEnsemble, scenario: str,
 
 
 def build_virtual_push_spec(n: int, layout: Layout, precision: Precision,
-                            scenario: str, memory: UsmMemoryManager,
+                            scenario: str,
+                            memory: Optional[UsmMemoryManager],
                             field_flops: float = 0.0) -> KernelSpec:
     """Kernel spec over *virtual* allocations of ``n`` particles.
 
     Used to model the paper's 1e7-particle runs without allocating the
     arrays; first-touch NUMA accounting still works because virtual
-    allocations carry page state.
+    allocations carry page state.  ``memory=None`` drops even the
+    virtual allocations (no page state): a pure traffic/flop
+    description, enough for the planning estimators and the autotuner.
     """
     _check_scenario(scenario)
     streams = _particle_streams(layout, precision, n, memory, None)
@@ -200,6 +204,98 @@ def _field_stream_names(layout: Layout) -> tuple:
     if layout is Layout.AOS:
         return ("fields-aos",)
     return tuple(f"fields-{c}" for c in ("ex", "ey", "ez", "bx", "by", "bz"))
+
+
+def build_virtual_field_eval_spec(n: int, layout: Layout,
+                                  precision: Precision,
+                                  scenario: str,
+                                  field_flops: float = 0.0) -> KernelSpec:
+    """Allocation-free twin of :func:`build_field_eval_spec`.
+
+    Same stream names, kinds, sizes and flops as the bound spec the
+    graph path launches — so a fusion pass planning over it makes the
+    same decisions — but without an ensemble or memory manager.
+    """
+    _check_scenario(scenario)
+    fp = precision.itemsize
+    streams: List[MemoryStream] = []
+    if layout is Layout.AOS:
+        streams.append(MemoryStream(
+            name="particles-aos", kind=StreamKind.READ,
+            bytes_per_item=precision.particle_bytes,
+            span_bytes_per_item=precision.particle_bytes_aligned,
+            contiguous=False))
+    else:
+        for component in ("x", "y", "z"):
+            streams.append(MemoryStream(
+                name=f"soa-{component}", kind=StreamKind.READ,
+                bytes_per_item=fp, contiguous=True))
+    for stream in _field_streams(layout, precision, n, None, None):
+        streams.append(MemoryStream(
+            name=stream.name, kind=StreamKind.WRITE,
+            bytes_per_item=stream.bytes_per_item,
+            span_bytes_per_item=stream.span_bytes_per_item,
+            contiguous=stream.contiguous))
+    name = f"field-eval-{scenario}-{layout.value}-{precision.value}"
+    return KernelSpec(name=name, streams=tuple(streams),
+                      flops_per_item=(float(FIELD_STAGE_FLOPS)
+                                      + float(field_flops)))
+
+
+def build_virtual_diagnostics_spec(layout: Layout,
+                                   precision: Precision) -> KernelSpec:
+    """Allocation-free twin of :func:`build_diagnostics_spec`."""
+    fp = precision.itemsize
+    if layout is Layout.AOS:
+        gamma = MemoryStream(
+            name="particles-aos", kind=StreamKind.READ,
+            bytes_per_item=precision.particle_bytes,
+            span_bytes_per_item=precision.particle_bytes_aligned,
+            contiguous=False)
+    else:
+        gamma = MemoryStream(name="soa-gamma", kind=StreamKind.READ,
+                             bytes_per_item=fp, contiguous=True)
+    energy = MemoryStream(name="diag-energy", kind=StreamKind.WRITE,
+                          bytes_per_item=fp, contiguous=True)
+    return KernelSpec(name=f"diag-energy-{layout.value}-{precision.value}",
+                      streams=(gamma, energy),
+                      flops_per_item=float(DIAGNOSTIC_FLOPS))
+
+
+def build_virtual_step_graph(n: int, layout: Layout, precision: Precision,
+                             scenario: str, field_flops: float = 0.0,
+                             diagnostics: bool = False) -> KernelGraph:
+    """Timing-only :class:`KernelGraph` of one graph-mode push step.
+
+    Mirrors :meth:`PushEngine.record_graph` without constructing an
+    engine: the same node order (field-eval, push, optional
+    diagnostics), the same stream declarations and the same transient
+    flags, but with no bodies and no allocations.  The autotuner plans
+    fusion over this graph and prices its groups exactly as the
+    executor would launch them.
+
+    ``field_flops`` is the analytical source's per-particle evaluation
+    cost (``flops_per_evaluation``); pass 0 for the precalculated
+    scenario, as the engine does.
+    """
+    _check_scenario(scenario)
+    graph = KernelGraph()
+    graph.add(KernelNode(
+        spec=build_virtual_field_eval_spec(n, layout, precision, scenario,
+                                           field_flops=field_flops),
+        n_items=n, layout=layout.value, precision=precision,
+        transient=frozenset(_field_stream_names(layout)),
+        tag="field-eval"))
+    graph.add(KernelNode(
+        spec=build_virtual_push_spec(n, layout, precision, PRECALCULATED,
+                                     None),
+        n_items=n, layout=layout.value, precision=precision, tag="push"))
+    if diagnostics:
+        graph.add(KernelNode(
+            spec=build_virtual_diagnostics_spec(layout, precision),
+            n_items=n, layout=layout.value, precision=precision,
+            tag="diagnostics"))
+    return graph
 
 
 def build_field_eval_spec(ensemble: ParticleEnsemble,

@@ -357,6 +357,11 @@ class _SubsetTopology(ThreadTopology):
         return self._parent.domain_of(self._threads[thread])
 
 
+#: Work-group size :class:`GpuScheduler` uses unless overridden — also
+#: what the cost model's schedule-free predictor assumes for occupancy.
+DEFAULT_WORKGROUP_SIZE = 256
+
+
 class GpuScheduler(Scheduler):
     """Work-group scheduling on a (single-domain) GPU.
 
@@ -366,7 +371,7 @@ class GpuScheduler(Scheduler):
     compute occupancy and per-group dispatch overhead uniformly.
     """
 
-    def __init__(self, workgroup_size: int = 256) -> None:
+    def __init__(self, workgroup_size: int = DEFAULT_WORKGROUP_SIZE) -> None:
         if workgroup_size < 1:
             raise ConfigurationError(
                 f"workgroup_size must be >= 1, got {workgroup_size}")

@@ -34,7 +34,8 @@ def relative_links(path):
 def test_doc_files_exist():
     assert REPO_ROOT / "README.md" in DOC_FILES
     names = {p.name for p in DOC_FILES}
-    assert {"ARCHITECTURE.md", "PROFILING.md"} <= names
+    assert {"ARCHITECTURE.md", "PROFILING.md", "TUNING.md",
+            "BENCHMARKS.md"} <= names
 
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
