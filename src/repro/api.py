@@ -140,6 +140,15 @@ class RunConfig:
         persist_cache: On-disk path for the JIT program cache; warm
             across *processes*, the simulated analogue of
             ``SYCL_CACHE_PERSISTENT``.
+        program_cache: A live
+            :class:`~repro.oneapi.programcache.ProgramCache` instance
+            to use instead of building a fresh one — pass the same
+            instance to several ``run_push`` calls and only the first
+            run of each program pays the JIT.  This is how
+            :mod:`repro.service` amortizes compiles across a whole
+            schedule of jobs (see ``docs/SERVICE.md``).  Mutually
+            exclusive with ``persist_cache`` (a shared cache owns its
+            own persistence policy).
         config: ``"auto"`` hands layout/precision/fusion (plus SMT
             tiling and shard strategy where the mode exposes them) to
             the roofline-driven autotuner
@@ -179,6 +188,7 @@ class RunConfig:
     trace_path: Optional[str] = None
     checkpoint_every: int = 0
     persist_cache: Optional[str] = None
+    program_cache: Optional[object] = None
     config: Optional[str] = None
     threads_per_unit: Optional[int] = None
     strategy: Optional[str] = None
@@ -209,6 +219,12 @@ class RunConfig:
         if self.config not in (None, "auto"):
             raise ConfigurationError(
                 f"config must be None or 'auto', got {self.config!r}")
+        if self.program_cache is not None \
+                and self.persist_cache is not None:
+            raise ConfigurationError(
+                "program_cache and persist_cache are mutually "
+                "exclusive: a shared cache instance owns its own "
+                "persistence policy")
         if self.threads_per_unit is not None:
             if self.threads_per_unit < 1:
                 raise ConfigurationError(
@@ -309,6 +325,14 @@ def _make_ensemble(config: RunConfig):
                           config.precision)
 
 
+def _program_cache(config: RunConfig):
+    """The run's JIT cache: the caller-shared one, or a fresh one."""
+    if config.program_cache is not None:
+        return config.program_cache
+    from .oneapi.programcache import ProgramCache
+    return ProgramCache(persist_path=config.persist_cache)
+
+
 def _plan_stats(executor) -> Tuple[int, int]:
     plan = getattr(executor, "last_plan", None) if executor else None
     if plan is None:
@@ -332,13 +356,12 @@ def _steady_nsps(step_seconds: Sequence[float], n: int,
 def _run_single(config: RunConfig, source, dt: float) -> "_RunOutcome":
     from .bench.calibration import cost_model_for, device_by_name
     from .core.stepping import state_digest
-    from .oneapi.programcache import ProgramCache
     from .oneapi.queue import Queue, RuntimeConfig
     from .oneapi.runtime import PushEngine
 
     ensemble = _make_ensemble(config)
     device = device_by_name(config.device)
-    cache = ProgramCache(persist_path=config.persist_cache)
+    cache = _program_cache(config)
     queue = Queue(device,
                   RuntimeConfig(runtime="dpcpp",
                                 threads_per_unit=config.threads_per_unit),
@@ -367,14 +390,13 @@ def _run_single(config: RunConfig, source, dt: float) -> "_RunOutcome":
 def _run_resilient(config: RunConfig, source, dt: float) -> "_RunOutcome":
     from .bench.metrics import nsps_from_records
     from .core.stepping import state_digest
-    from .oneapi.programcache import ProgramCache
     from .resilience import (Checkpointer, fault_injection, named_plan)
     from .resilience.runner import DEVICE_LADDER, ResilientPushEngine
 
     ensemble = _make_ensemble(config)
     ladder = tuple(config.devices) if config.devices is not None \
         else DEVICE_LADDER
-    cache = ProgramCache(persist_path=config.persist_cache)
+    cache = _program_cache(config)
 
     def drive(checkpointer):
         engine = ResilientPushEngine(
@@ -415,11 +437,10 @@ def _run_sharded(config: RunConfig, source, dt: float) -> "_RunOutcome":
     from .distributed.group import DeviceGroup, parse_group_spec
     from .distributed.runner import ShardedPushEngine
     from .distributed.sharding import strategy_by_name
-    from .oneapi.programcache import ProgramCache
     from .resilience import Checkpointer
 
     ensemble = _make_ensemble(config)
-    cache = ProgramCache(persist_path=config.persist_cache)
+    cache = _program_cache(config)
     group = DeviceGroup(parse_group_spec(config.group),
                         program_cache=cache)
     strategy = strategy_by_name(config.strategy, config.precision) \

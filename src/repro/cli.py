@@ -37,9 +37,18 @@ resilient or sharded — the mode follows from the flags), with
 ``--record`` regenerating the fused-vs-unfused comparison into
 ``benchmarks/BENCH_fusion.json``.
 
-Runner commands (``table2 table3 shard faults push``, and ``trace``
-passing through) share one normalized flag set — ``--device``,
-``--group``, ``--precision``, ``--layout``, ``--record``,
+``python -m repro serve`` runs a multi-job demo schedule through the
+fault-tolerant job scheduler (:mod:`repro.service`) — mixed priorities
+and tenants, one job carrying an injected device loss — and ``python
+-m repro submit`` pushes a single job through it with service-level
+knobs (``--priority``, ``--tenant``, ``--deadline``, ``--budget``).
+For these two commands the global ``--fault-plan`` scopes injection to
+*per-job* injectors instead of installing one process-wide.  See
+``docs/SERVICE.md``.
+
+Runner commands (``table2 table3 shard faults push serve submit``, and
+``trace`` passing through) share one normalized flag set —
+``--device``, ``--group``, ``--precision``, ``--layout``, ``--record``,
 ``--record-dir`` — defined once in a parent parser, so every command
 spells them identically.
 """
@@ -445,6 +454,93 @@ def _cmd_push(args: argparse.Namespace) -> None:
         print(f"warning: {warning}")
 
 
+def _service_stream(name: str, event: str, detail: str) -> None:
+    """The ``on_event`` hook: one line per job lifecycle event."""
+    print(f"  [{name}] {event}" + (f" — {detail}" if detail else ""))
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from .api import RunConfig
+    from .errors import JobRejectedError
+    from .service import JobSpec, PushService
+
+    service = PushService(
+        fleet=args.fleet,
+        on_event=None if args.quiet else _service_stream)
+    plan = getattr(args, "fault_plan", None) or "device-loss"
+    tenants = ("alice", "bob")
+    print(f"schedule: {args.jobs} jobs on {args.fleet!r} "
+          f"(job-1 carries the {plan!r} fault plan)")
+    for index in range(args.jobs):
+        spec = JobSpec(
+            f"job-{index}",
+            RunConfig(n_particles=args.serve_particles,
+                      steps=args.steps, warmup=1,
+                      device=args.device or "iris-xe-max",
+                      layout=args.layout or Layout.SOA,
+                      precision=args.precision or Precision.SINGLE),
+            tenant=tenants[index % len(tenants)],
+            priority=index % 3,
+            fault_plan=plan if index == 1 else None,
+            fault_seed=getattr(args, "fault_seed", 0))
+        try:
+            service.submit(spec)
+        except JobRejectedError as exc:
+            print(f"  rejected: {exc}")
+    report = service.run()
+    print()
+    print(report.summary())
+    if not report.all_completed:
+        raise SystemExit(1)
+
+
+def _cmd_submit(args: argparse.Namespace) -> None:
+    from .api import RunConfig
+    from .service import JobSpec, PushService
+
+    config = RunConfig(
+        scenario=args.scenario,
+        layout=args.layout or Layout.SOA,
+        precision=args.precision or Precision.SINGLE,
+        n_particles=args.submit_particles, steps=args.steps,
+        warmup=args.warmup,
+        device=args.device or "iris-xe-max", group=args.group,
+        fusion=args.fusion)
+    spec = JobSpec(args.name, config, tenant=args.tenant,
+                   priority=args.priority,
+                   deadline_seconds=args.deadline,
+                   budget_seconds=args.budget,
+                   fault_plan=getattr(args, "fault_plan", None),
+                   fault_seed=getattr(args, "fault_seed", 0))
+    service = PushService(
+        fleet=args.fleet,
+        on_event=None if args.quiet else _service_stream)
+    service.submit(spec)        # JobRejectedError -> exit 2 via main()
+    report = service.run()
+    job = report.jobs[args.name]
+    print()
+    print(job.summary())
+    rows = [
+        ["state", job.state],
+        ["devices", ", ".join(job.devices) or "-"],
+        ["queue wait", f"{job.queue_wait_seconds * 1e3:.3f} ms"],
+        ["device seconds", f"{job.device_seconds * 1e3:.3f} ms"],
+        ["retries / restores / preemptions",
+         f"{job.retries} / {job.restores} / {job.preemptions}"],
+        ["checkpoints saved / pruned",
+         f"{job.checkpoints_saved} / {job.checkpoints_pruned}"],
+    ]
+    if job.completed:
+        rows.insert(1, ["steady NSPS", f"{job.nsps:.3f}"])
+        rows.insert(2, ["state digest", job.digest[:16]])
+    else:
+        rows.insert(1, ["error", f"{job.error_type}: {job.error}"])
+    print(format_table(["field", "value"], rows,
+                       f"repro submit — {args.name!r} on {args.fleet!r}"))
+    if not job.completed:
+        raise SystemExit(1)
+
+
 def _add_trace_flag(parser: argparse.ArgumentParser, default) -> None:
     parser.add_argument("--trace", metavar="OUT.json", default=default,
                         help="run the command under the tracer and write "
@@ -627,6 +723,67 @@ def build_parser() -> argparse.ArgumentParser:
                            "the hazard detector and diff a particle "
                            "sample against the scalar reference pusher "
                            "(see docs/VALIDATION.md)")
+    from .service.scheduler import DEFAULT_FLEET
+    serve = sub.add_parser(
+        "serve", parents=[parent],
+        help="run a demo multi-tenant job schedule through the "
+             "fault-tolerant scheduler, with one injected device loss "
+             "(see docs/SERVICE.md); exits 1 if any job fails")
+    serve.add_argument("--fleet", default=DEFAULT_FLEET, metavar="SPEC",
+                       help=f"device fleet spec (default "
+                            f"{DEFAULT_FLEET!r})")
+    serve.add_argument("--jobs", type=int, default=4,
+                       help="how many jobs to submit (default 4; mixed "
+                            "priorities and tenants)")
+    serve.add_argument("--steps", type=int, default=6,
+                       help="measured push steps per job (default 6)")
+    serve.add_argument("--serve-particles", type=int, default=2000,
+                       help="ensemble size per job (default 2000; "
+                            "physics-carrying, so keep it modest)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the streamed per-job lifecycle "
+                            "events")
+    submit = sub.add_parser(
+        "submit", parents=[parent],
+        help="submit one job to the scheduler with service-level knobs "
+             "(priority, tenant, deadline, budget); --fault-plan "
+             "injects faults scoped to this job; exits 1 if the job "
+             "fails, 2 if admission rejects it")
+    submit.add_argument("--name", default="job",
+                        help="job name (default 'job')")
+    submit.add_argument("--fleet", default=DEFAULT_FLEET, metavar="SPEC",
+                        help=f"device fleet spec (default "
+                             f"{DEFAULT_FLEET!r})")
+    submit.add_argument("--scenario",
+                        choices=["precalculated", "analytical"],
+                        default="precalculated",
+                        help="field handling (default precalculated)")
+    submit.add_argument("--steps", type=int, default=10,
+                        help="measured push steps (default 10)")
+    submit.add_argument("--warmup", type=int, default=2,
+                        help="warm-up steps excluded from steady NSPS "
+                             "(default 2)")
+    submit.add_argument("--submit-particles", type=int, default=2000,
+                        help="ensemble size (default 2000)")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="scheduling priority (larger = more "
+                             "urgent; default 0)")
+    submit.add_argument("--tenant", default="default",
+                        help="fair-share tenant identity")
+    submit.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="fail the job if not completed within this "
+                             "many simulated seconds after arrival")
+    submit.add_argument("--budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="cap on simulated device seconds the job "
+                             "may consume (recovery cost included)")
+    submit.add_argument("--fusion", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="kernel-graph execution mode (as in "
+                             "'repro push')")
+    submit.add_argument("--quiet", action="store_true",
+                        help="suppress the streamed lifecycle events")
     validate = sub.add_parser(
         "validate",
         help="check every paper claim against the model, then run the "
@@ -652,6 +809,8 @@ def build_parser() -> argparse.ArgumentParser:
         faults,
         shard,
         push,
+        serve,
+        submit,
     ]
     for command in commands:
         # accept --trace after the command too; SUPPRESS keeps a value
@@ -683,6 +842,8 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "shard": _cmd_shard,
     "push": _cmd_push,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 #: Commands `repro trace CMD` accepts: every runner whose only knob is
@@ -712,10 +873,12 @@ def _run_traced(command: str, args: argparse.Namespace, out: str) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
-    Exit codes: 0 success, 1 validation failure (``repro validate``),
-    2 usage or configuration error — argparse rejections and any
+    Exit codes: 0 success, 1 checks-failed (``repro validate``, or a
+    ``serve``/``submit`` schedule with a failed job), 2 usage or
+    configuration error — argparse rejections and any
     :class:`~repro.errors.ReproError` (a bad ``--group`` spec, an
-    unknown fault plan) both land on 2 with the message on stderr.
+    unknown fault plan, a :class:`~repro.errors.JobRejectedError` from
+    admission) all land on 2 with the message on stderr.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -752,9 +915,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     from .errors import ReproError
     try:
-        if plan_name is not None and command not in ("faults", "push"):
+        if plan_name is not None and command not in ("faults", "push",
+                                                     "serve", "submit"):
             # faults installs its own injector from --plan; push routes
-            # --fault-plan through RunConfig (it selects resilient mode)
+            # --fault-plan through RunConfig (it selects resilient
+            # mode); serve/submit scope injection to per-job injectors
             from .resilience import fault_injection, named_plan
             with fault_injection(named_plan(plan_name),
                                  seed=getattr(args, "fault_seed", 0)):

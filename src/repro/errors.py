@@ -21,6 +21,10 @@ The full catch hierarchy::
     ├── FieldError
     ├── SimulationError
     │   └── ValidationError
+    ├── ServiceError
+    │   ├── JobRejectedError
+    │   ├── JobDeadlineError
+    │   └── JobPreemptedError
     └── TraceError
 
 The :mod:`repro.api` facade guarantees this hierarchy is the *only*
@@ -29,6 +33,20 @@ kernel-graph paths that is not already a :class:`ReproError` is wrapped
 into the closest documented class before it reaches the caller (see
 :func:`repro.api.run_push`), so ``except ReproError`` around a facade
 call is exhaustive.
+
+The :class:`ServiceError` branch belongs to the multi-tenant scheduler
+(:mod:`repro.service`) and is ordered by catch specificity: catch
+:class:`JobRejectedError` to handle admission-control overload (the job
+never ran), :class:`JobDeadlineError` for jobs killed for exceeding
+their deadline or simulated-time budget (the job ran and was stopped),
+:class:`JobPreemptedError` for jobs displaced by higher-priority work
+that could not be resumed, and :class:`ServiceError` as the one arm
+that covers every way the scheduler can fail a job.  Device failures
+*inside* a scheduled job keep their own taxonomy (a job that exhausts
+the fleet fails with :class:`DeviceLostError`, not a service error):
+``except (ServiceError, DeviceError)`` around a schedule is exhaustive
+for per-job failures, and plain ``except ReproError`` remains the
+catch-all, as everywhere else.
 
 The leaves under :class:`DeviceError` added for the resilience layer
 (:mod:`repro.resilience`) split device failures by recovery semantics:
@@ -218,6 +236,54 @@ class ValidationError(SimulationError):
     device) disagree on their sha256 state digests.  The message names
     the worst component and its measured ULP distance; see
     ``docs/VALIDATION.md`` for what the tolerances mean.
+    """
+
+
+class ServiceError(ReproError):
+    """The multi-tenant job scheduler failed a job deliberately.
+
+    Usage: the base class of every way :mod:`repro.service` can end a
+    job other than successful completion — admission rejection,
+    deadline/budget enforcement, unresumable preemption.  Catch it
+    around a whole schedule to handle "the scheduler said no" in one
+    place while letting device failures inside jobs
+    (:class:`DeviceError`) keep their own recovery semantics.
+    """
+
+
+class JobRejectedError(ServiceError):
+    """Admission control refused the job; it never ran.
+
+    Usage: raised by :meth:`repro.service.JobQueue.admit` (and thus by
+    :meth:`repro.service.PushService.submit`) under overload — queue
+    capacity reached with no lower-priority job to evict, a tenant over
+    its fair share, or a job spec the fleet can never satisfy.  The
+    message carries the reason.  Rejection is a *backpressure signal*,
+    not a crash: resubmit later, lower the ask, or raise the priority.
+    """
+
+
+class JobDeadlineError(ServiceError):
+    """A job exceeded its deadline or its simulated-time budget.
+
+    Usage: raised (and recorded on the :class:`~repro.service.JobReport`)
+    when a job's completion would land past ``arrival +
+    deadline_seconds`` on the simulated clock, or when its accumulated
+    device seconds exceed ``budget_seconds``.  The job's state is
+    whatever its last completed step left (checkpoints are kept for
+    inspection); retrying needs a longer deadline, a bigger budget, or
+    a smaller job.
+    """
+
+
+class JobPreemptedError(ServiceError):
+    """A job was displaced by higher-priority work and not resumed.
+
+    Usage: raised when admission control evicts a still-queued job to
+    admit a higher-priority one, or when a running job exhausts the
+    scheduler's preemption allowance (``max_preemptions``).  Ordinary
+    preemption is *not* an error — the job is checkpointed, requeued
+    and resumed, and only ``JobReport.preemptions`` records it.
     """
 
 

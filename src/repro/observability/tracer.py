@@ -339,6 +339,22 @@ class Tracer:
         self.instant(f"validation:{'pass' if passed else 'fail'}:{check}",
                      "validation", **args)
 
+    # -- service events ----------------------------------------------------
+
+    def job(self, name: str, event: str, /, **args: Any) -> None:
+        """Report one scheduler job lifecycle event.
+
+        ``name`` is the job's name, ``event`` the lifecycle transition
+        (``"submitted"``, ``"admitted"``, ``"launched"``,
+        ``"preempted"``, ``"device-lost"``, ``"restored"``,
+        ``"collected"``, ``"completed"``, ``"failed"``, ``"rejected"``
+        — see ``docs/SERVICE.md``).  Recorded as a ``service``-category
+        instant carrying the job name and the scheduler's simulated
+        clock, so a traced schedule shows every job's history next to
+        the kernel launches it caused.
+        """
+        self.instant(f"job:{event}", "service", job=name, **args)
+
     # -- autotuning events -----------------------------------------------
 
     def autotune(self, event: str, /, **args: Any) -> None:

@@ -158,6 +158,39 @@ class ProgramCache:
         with self._lock:
             return key in self._entries
 
+    def warm_profiles(self) -> frozenset:
+        """Snapshot of warm ``(device, layout, precision)`` triples.
+
+        The cache-locality signal the service scheduler's bin-packer
+        reads: a job whose (device model, layout, precision) profile
+        appears here will pay no JIT on that model, so placing it there
+        amortizes the compile another job already charged.  Coarser
+        than :meth:`is_warm` on purpose — placement happens before the
+        job's exact kernel chains exist.
+        """
+        with self._lock:
+            return frozenset((key.device, key.layout, key.precision)
+                             for key in self._entries)
+
+    def is_profile_warm(self, device: str, layout: str,
+                        precision: str) -> bool:
+        """Whether any program is warm for this placement profile.
+
+        ``device`` is a :attr:`DeviceDescriptor.jit_key` (the model);
+        ``layout``/``precision`` are the spelled values a
+        :class:`ProgramKey` carries ("SoA", "float", ...).  Programs
+        keyed with empty layout/precision (layout-agnostic kernels)
+        match any requested value.
+        """
+        with self._lock:
+            for key in self._entries:
+                if key.device != device:
+                    continue
+                if key.layout in ("", layout) \
+                        and key.precision in ("", precision):
+                    return True
+            return False
+
     # -- lifecycle -------------------------------------------------------
 
     def clear(self, device: Optional[str] = None) -> int:

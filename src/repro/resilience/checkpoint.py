@@ -87,6 +87,29 @@ class Checkpointer:
         for step in self.steps_on_disk()[:-self.keep]:
             self.path_for(step).unlink()
 
+    def gc(self) -> int:
+        """Delete every checkpoint in the directory; returns the count.
+
+        The end-of-life prune: once a run has completed successfully
+        its checkpoints are pure disk liability (restoring one would
+        *rewind* finished work), so the service layer calls this in a
+        job's cleanup phase.  Emits a ``checkpoint:gc`` tracer instant
+        recording how much was reclaimed.  Failed runs skip GC — their
+        checkpoints are the evidence.
+        """
+        steps = self.steps_on_disk()
+        reclaimed = 0
+        for step in steps:
+            path = self.path_for(step)
+            reclaimed += path.stat().st_size
+            path.unlink()
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.instant("checkpoint:gc", "recovery",
+                           directory=str(self.directory),
+                           pruned=len(steps), bytes=reclaimed)
+        return len(steps)
+
     def _trace(self, step: int) -> None:
         self.saved_count += 1
         tracer = active_tracer()

@@ -1,0 +1,36 @@
+"""Push-as-a-service: a fault-tolerant multi-tenant job scheduler.
+
+Many tenants submit :class:`JobSpec`s (each wrapping one
+:class:`~repro.api.RunConfig`); a :class:`PushService` admits them
+through a fair-share :class:`JobQueue`, bin-packs them onto a
+simulated :class:`~repro.service.cluster.DeviceFleet` (batching onto
+JIT-warm devices to amortize compiles through the shared
+:class:`~repro.oneapi.programcache.ProgramCache`), and drives each to
+a typed terminal state on the simulated clock — surviving injected
+device loss via checkpoint/restore failover with bit-exact results.
+
+Quickstart::
+
+    from repro.api import RunConfig
+    from repro.service import JobSpec, PushService
+
+    service = PushService(fleet="2x iris-xe-max, 1x cpu")
+    service.submit(JobSpec("train", RunConfig(n_particles=2000, steps=6),
+                           tenant="alice", priority=1))
+    service.submit(JobSpec("probe", RunConfig(n_particles=1000, steps=4),
+                           tenant="bob", fault_plan="device-loss"))
+    report = service.run()
+    print(report.summary())
+
+See ``docs/SERVICE.md`` for the lifecycle, admission and failure
+semantics.
+"""
+
+from .cluster import DeviceFleet, Node
+from .job import JobEvent, JobReport, JobSpec, JobState
+from .queue import JobQueue
+from .scheduler import DEFAULT_FLEET, PushService, ServiceReport
+
+__all__ = ["DEFAULT_FLEET", "DeviceFleet", "JobEvent", "JobQueue",
+           "JobReport", "JobSpec", "JobState", "Node", "PushService",
+           "ServiceReport"]

@@ -1,0 +1,131 @@
+"""The simulated device fleet the scheduler places jobs on.
+
+A :class:`DeviceFleet` is a pool of :class:`Node`s built from the same
+``"2x iris-xe-max, 1x p630"`` group-spec grammar the distributed layer
+uses, each node wrapping one uniquely-named device instance.  All
+nodes share one :class:`~repro.oneapi.programcache.ProgramCache`, so a
+program JIT-compiled for one iris-xe-max card is warm for every other
+card of that model — the cache-affinity signal the scheduler's
+bin-packer exploits when batching jobs onto warm devices.
+
+Nodes die (``alive = False``) when a job's fault injector loses the
+underlying device; a dead node never hosts another job, which is what
+makes "fleet exhausted" a reachable, typed end state instead of a
+hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..bench.calibration import device_by_name
+from ..distributed.group import parse_group_spec
+from ..errors import ConfigurationError
+
+__all__ = ["Node", "DeviceFleet"]
+
+
+@dataclass
+class Node:
+    """One schedulable device slot in the fleet.
+
+    Attributes:
+        key: Catalog key of the device (``"iris-xe-max"``...).
+        index: Position in the fleet, the final placement tie-break.
+        device: The instance's :class:`DeviceDescriptor`, renamed
+            ``"<name> #<index>"`` with ``model`` preserved so JIT keys
+            stay shared across same-model nodes.
+        free_at: Simulated time at which the node's current work ends.
+        alive: False once a fault injector has lost this device.
+        job: Name of the job currently placed here, if any.
+        jobs_run: How many job placements this node has hosted.
+    """
+
+    key: str
+    index: int
+    device: object
+    free_at: float = 0.0
+    alive: bool = True
+    job: Optional[str] = None
+    jobs_run: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.device.name
+
+    @property
+    def busy(self) -> bool:
+        return self.job is not None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "key": self.key, "alive": self.alive,
+                "free_at": self.free_at, "jobs_run": self.jobs_run,
+                "job": self.job}
+
+
+class DeviceFleet:
+    """The pool of devices one :class:`PushService` schedules onto.
+
+    Args:
+        spec: Group-spec string (``"2x iris-xe-max, 1x p630"``) naming
+            the cards in the fleet.
+        program_cache: The shared JIT cache every node's queue uses;
+            required — sharing it is the point of the fleet.
+    """
+
+    def __init__(self, spec: str, program_cache) -> None:
+        keys = parse_group_spec(spec)
+        if not keys:
+            raise ConfigurationError(
+                f"fleet spec {spec!r} names no devices")
+        self.spec = spec
+        self.program_cache = program_cache
+        self.nodes: List[Node] = []
+        counts: Dict[str, int] = {}
+        for index, key in enumerate(keys):
+            base = device_by_name(key)
+            instance = counts.get(key, 0)
+            counts[key] = instance + 1
+            descriptor = replace(base,
+                                 name=f"{base.name} #{instance}",
+                                 model=base.model or base.name)
+            self.nodes.append(Node(key=key, index=index,
+                                   device=descriptor))
+
+    # -- queries the scheduler makes --------------------------------------
+
+    @property
+    def keys(self) -> List[str]:
+        return [node.key for node in self.nodes]
+
+    def alive_nodes(self) -> List[Node]:
+        return [node for node in self.nodes if node.alive]
+
+    def idle_nodes(self) -> List[Node]:
+        return [node for node in self.nodes
+                if node.alive and not node.busy]
+
+    def node_named(self, name: str) -> Optional[Node]:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        return None
+
+    def mark_lost(self, names) -> List[Node]:
+        """Kill every node whose instance name appears in ``names``."""
+        lost = []
+        for name in names:
+            node = self.node_named(name)
+            if node is not None and node.alive:
+                node.alive = False
+                node.job = None
+                lost.append(node)
+        return lost
+
+    def exhausted(self) -> bool:
+        """True once no node can ever host another job."""
+        return not self.alive_nodes()
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,200 @@
+"""Jobs: what tenants submit, and what the scheduler reports back.
+
+A :class:`JobSpec` is one tenant's ask — a
+:class:`~repro.api.RunConfig` plus the service-level contract around
+it: who is asking (``tenant``), how urgent it is (``priority``), when
+it arrives on the simulated clock (``arrival``), and the enforcement
+knobs (``deadline_seconds``, ``budget_seconds``).  A
+:class:`JobReport` is the scheduler's complete account of what then
+happened: lifecycle timestamps, queue wait, retries, preemptions,
+device history, fault history, and — for completed jobs — the NSPS and
+the sha256 state digest, which must be bit-exact versus the same
+``RunConfig`` run solo and fault-free (the acceptance bar of the
+service layer; see ``docs/SERVICE.md``).
+
+All times are **simulated seconds** on the scheduler's clock, the same
+clock the queues' cost models charge — a job that waited behind a
+retry storm shows that wait here exactly as lost wall time would show
+on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..api import RunConfig
+from ..errors import ConfigurationError
+
+__all__ = ["JobState", "JobSpec", "JobEvent", "JobReport"]
+
+
+class JobState:
+    """The lifecycle states a job moves through (string constants).
+
+    ``PENDING → READY → RUNNING → COLLECTING → COMPLETED`` is the happy
+    path; ``READY`` recurs after a device loss or a preemption (the job
+    goes back to the queue), and ``FAILED`` / ``REJECTED`` are the
+    terminal failure states (``REJECTED`` means admission refused it —
+    it never ran).
+    """
+
+    PENDING = "pending"        # submitted, arrival still in the future
+    READY = "ready"            # admitted, waiting for a device
+    RUNNING = "running"        # placed on a node, stepping
+    COMPLETED = "completed"    # all steps done, collected, cleaned up
+    FAILED = "failed"          # terminal, with a typed ReproError
+    REJECTED = "rejected"      # admission control refused it
+
+    TERMINAL = (COMPLETED, FAILED, REJECTED)
+
+
+@dataclass
+class JobSpec:
+    """One job as submitted: the workload plus its service contract.
+
+    Attributes:
+        name: Unique job name within the schedule.
+        config: The push workload (:class:`~repro.api.RunConfig`).
+            ``group`` selects a sharded job occupying several fleet
+            nodes; otherwise the scheduler places the job on one node,
+            and ``config.device`` is a placement *constraint*: only
+            fleet nodes of that key qualify.  Set ``device=None``
+            (service mode only) to let the scheduler choose freely —
+            it then bin-packs onto JIT-warm nodes first.
+        tenant: Fair-share accounting identity.
+        priority: Larger is more urgent; ties break by tenant usage
+            (fair share), then submission order.
+        arrival: Simulated submit time [s] (0 = at service start).
+        deadline_seconds: Kill the job if it has not completed within
+            this many simulated seconds after ``arrival`` (None = no
+            deadline) — enforcement raises/records
+            :class:`~repro.errors.JobDeadlineError`.
+        budget_seconds: Cap on the simulated device seconds the job may
+            consume, recovery cost included (None = unmetered); the
+            service's token budget.
+        fault_plan: Per-job fault injection: a plan name (see
+            :data:`repro.resilience.plans.PLAN_NAMES`) or a
+            :class:`~repro.resilience.faults.FaultPlan` instance.  The
+            injector is installed only while *this* job executes, so
+            two jobs' fault streams never interleave.
+        fault_seed: Seed of the per-job fault injector.
+        preemptible: Whether a higher-priority job may preempt this one
+            at a step boundary (checkpoint, requeue, resume later).
+    """
+
+    name: str
+    config: RunConfig = field(default_factory=RunConfig)
+    tenant: str = "default"
+    priority: int = 0
+    arrival: float = 0.0
+    deadline_seconds: Optional[float] = None
+    budget_seconds: Optional[float] = None
+    fault_plan: Optional[object] = None
+    fault_seed: int = 0
+    preemptible: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a job needs a non-empty name")
+        if self.arrival < 0.0:
+            raise ConfigurationError(
+                f"arrival must be >= 0, got {self.arrival}")
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One timestamped lifecycle event (simulated clock)."""
+
+    clock: float
+    event: str
+    detail: str = ""
+
+
+@dataclass
+class JobReport:
+    """Everything the scheduler can say about one job, post-schedule.
+
+    The accounting contract: ``queue_wait_seconds`` is time spent
+    admitted-but-unplaced (including re-queues after loss/preemption),
+    ``device_seconds`` is simulated device time consumed across every
+    placement (recovery backoff and watchdog burn included), and the
+    ``retries``/``backoff_seconds``/``watchdog_seconds`` triple splits
+    the recovery cost out, all on the same simulated clock.  For
+    completed jobs ``digest`` is bit-exact versus a solo fault-free run
+    of the same config.
+    """
+
+    name: str
+    tenant: str
+    priority: int
+    state: str = JobState.PENDING
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    submitted: float = 0.0
+    launched: Optional[float] = None
+    finished: Optional[float] = None
+    queue_wait_seconds: float = 0.0
+    device_seconds: float = 0.0
+    steps: int = 0
+    nsps: float = 0.0
+    digest: str = ""
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    watchdog_seconds: float = 0.0
+    preemptions: int = 0
+    restores: int = 0
+    replayed_steps: int = 0
+    devices: Tuple[str, ...] = ()
+    devices_lost: Tuple[str, ...] = ()
+    fault_counts: Dict[str, int] = field(default_factory=dict)
+    checkpoints_saved: int = 0
+    checkpoints_pruned: int = 0
+    events: List[JobEvent] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return self.state == JobState.COMPLETED
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready flat summary (events reduced to their count)."""
+        return {
+            "name": self.name, "tenant": self.tenant,
+            "priority": self.priority, "state": self.state,
+            "error": self.error, "error_type": self.error_type,
+            "submitted": self.submitted, "launched": self.launched,
+            "finished": self.finished,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "device_seconds": self.device_seconds,
+            "steps": self.steps, "nsps": self.nsps, "digest": self.digest,
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "watchdog_seconds": self.watchdog_seconds,
+            "preemptions": self.preemptions, "restores": self.restores,
+            "replayed_steps": self.replayed_steps,
+            "devices": list(self.devices),
+            "devices_lost": list(self.devices_lost),
+            "fault_counts": dict(self.fault_counts),
+            "checkpoints_saved": self.checkpoints_saved,
+            "checkpoints_pruned": self.checkpoints_pruned,
+            "events": len(self.events),
+        }
+
+    def summary(self) -> str:
+        """One-line human rendering (the CLI prints one per job)."""
+        if self.state == JobState.COMPLETED:
+            tail = (f"nsps={self.nsps:.2f} digest={self.digest[:12]} "
+                    f"wait={self.queue_wait_seconds * 1e3:.3f}ms "
+                    f"dev={self.device_seconds * 1e3:.3f}ms")
+        else:
+            tail = f"{self.error_type or ''}: {self.error or 'n/a'}"
+        extras = []
+        if self.retries:
+            extras.append(f"retries={self.retries}")
+        if self.preemptions:
+            extras.append(f"preemptions={self.preemptions}")
+        if self.devices_lost:
+            extras.append(f"lost={','.join(self.devices_lost)}")
+        extra = f" [{' '.join(extras)}]" if extras else ""
+        return (f"{self.name} ({self.tenant}, prio {self.priority}): "
+                f"{self.state} — {tail}{extra}")

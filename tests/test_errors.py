@@ -13,9 +13,11 @@ import pytest
 from repro import errors
 from repro.errors import (AllocationFailedError, ConfigurationError,
                           DeviceError, DeviceLostError, ExchangeTimeoutError,
-                          FieldError, GraphError, HazardError, KernelError,
-                          LaunchTimeoutError, LayoutError, MemoryModelError,
-                          ReproError, SimulationError, TraceError,
+                          FieldError, GraphError, HazardError,
+                          JobDeadlineError, JobPreemptedError,
+                          JobRejectedError, KernelError, LaunchTimeoutError,
+                          LayoutError, MemoryModelError, ReproError,
+                          ServiceError, SimulationError, TraceError,
                           ValidationError)
 
 #: Every deliberate error class and its direct base, as documented in
@@ -36,6 +38,10 @@ HIERARCHY = {
     FieldError: ReproError,
     SimulationError: ReproError,
     ValidationError: SimulationError,
+    ServiceError: ReproError,
+    JobRejectedError: ServiceError,
+    JobDeadlineError: ServiceError,
+    JobPreemptedError: ServiceError,
     TraceError: ReproError,
 }
 
@@ -80,3 +86,12 @@ def test_transient_vs_fatal_split():
     # An exchange stall is transient: the retry machinery that catches
     # hung launches must catch stalled exchanges too.
     assert issubclass(ExchangeTimeoutError, LaunchTimeoutError)
+
+
+def test_service_errors_are_scheduler_level():
+    # The documented catch order: ``except (ServiceError, DeviceError)``
+    # around a schedule is exhaustive for per-job failures, which only
+    # works if the two branches never overlap.
+    for klass in (JobRejectedError, JobDeadlineError, JobPreemptedError):
+        assert issubclass(klass, ServiceError)
+        assert not issubclass(klass, DeviceError)
