@@ -31,7 +31,7 @@ import pytest
 from repro.bench import latest_snapshot, paper_time_step, paper_wave
 from repro.bench.scenarios import paper_ensemble
 from repro.distributed import (DeviceGroup, ProportionalSharding,
-                               ShardedPushRunner)
+                               ShardedPushEngine)
 from repro.fp import Precision
 from repro.observability import Tracer, tracing
 from repro.particles import Layout
@@ -50,7 +50,7 @@ STEPS = 8
 def _runner(group_spec, n=N, **kwargs):
     ensemble = paper_ensemble(n, Layout.SOA, Precision.SINGLE)
     group = DeviceGroup.from_spec(group_spec)
-    return ShardedPushRunner(group, ensemble, "precalculated",
+    return ShardedPushEngine(group, ensemble, "precalculated",
                              paper_wave(), paper_time_step(), **kwargs)
 
 

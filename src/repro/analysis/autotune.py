@@ -9,7 +9,9 @@ module makes that reasoning executable:
    layout (AoS/SoA) x precision (float/double) x execution path
    (legacy single-launch, graph unfused, graph fused) x SMT tiling
    (one or two threads per core, CPU single-device runs) x shard
-   strategy (even/bandwidth/flops splits for device groups);
+   strategy (even/bandwidth/flops splits for device groups) x device
+   (``RunConfig.tune_devices``, the backend axis — candidates may
+   span oneAPI and CUDA devices, see :mod:`repro.backends`);
 2. :func:`tune` prices every candidate through the cost model's
    steady-state predictor
    (:meth:`~repro.oneapi.costmodel.CostModel.predict_launch_seconds`)
@@ -70,7 +72,10 @@ class Candidate:
 
     ``threads_per_unit`` and ``strategy`` are ``None`` where the mode
     does not expose the axis (GPU runs have no SMT toggle, single-device
-    runs have no shard split).
+    runs have no shard split).  ``device`` is set only when the search
+    spans devices (``RunConfig.tune_devices``, the backend axis): it
+    names the device spec this candidate would execute on, and ``None``
+    means "the config's device as written".
     """
 
     layout: Layout
@@ -78,6 +83,7 @@ class Candidate:
     fusion: Optional[bool]
     threads_per_unit: Optional[int] = None
     strategy: Optional[str] = None
+    device: Optional[str] = None
 
     @property
     def label(self) -> str:
@@ -88,6 +94,8 @@ class Candidate:
             parts.append(f"{self.threads_per_unit}t")
         if self.strategy is not None:
             parts.append(self.strategy)
+        if self.device is not None:
+            parts.append(self.device)
         return "/".join(parts)
 
 
@@ -164,7 +172,7 @@ def _pricing_devices(config) -> List[Tuple[str, DeviceDescriptor]]:
     """The devices a run of ``config`` would execute on, keyed for the
     report.  Resilient runs are priced on the ladder's first rung (the
     device the run uses until a fault demotes it)."""
-    from ..bench.calibration import device_by_name
+    from ..backends.registry import descriptor_for
 
     mode = config.mode
     if mode == "sharded":
@@ -184,7 +192,7 @@ def _pricing_devices(config) -> List[Tuple[str, DeviceDescriptor]]:
         # descriptor (a datasheet, a mis-measured machine) while the
         # run itself executes on the real calibrated one.
         return [(key, override) for key in keys]
-    return [(key, device_by_name(key)) for key in keys]
+    return [(key, descriptor_for(key)) for key in keys]
 
 
 def enumerate_candidates(config) -> List[Candidate]:
@@ -193,23 +201,39 @@ def enumerate_candidates(config) -> List[Candidate]:
     The SMT-tiling axis (``threads_per_unit``) is enumerated only for
     single-device CPU runs — the GPU descriptors have no SMT toggle
     and the resilient/sharded engines do not expose the knob.
+
+    ``config.tune_devices`` (single mode) adds the device/backend axis:
+    the space is replicated per listed device spec, with the SMT axis
+    evaluated per device (only its CPUs get it).
     """
     mode = config.mode
-    tilings: Sequence[Optional[int]] = (None,)
-    if mode == "single":
-        device = _pricing_devices(config)[0][1]
-        if device.device_type is DeviceType.CPU \
-                and device.threads_per_unit > 1:
-            tilings = (None, 1)
+    specs: Sequence[Optional[str]] = (None,)
+    if mode == "single" and getattr(config, "tune_devices", None):
+        specs = tuple(config.tune_devices)
     strategies: Sequence[Optional[str]] = \
         _SHARD_STRATEGIES if mode == "sharded" else (None,)
-    return [Candidate(layout=layout, precision=precision, fusion=fusion,
-                      threads_per_unit=tiling, strategy=strategy)
+    candidates: List[Candidate] = []
+    for spec in specs:
+        tilings: Sequence[Optional[int]] = (None,)
+        if mode == "single":
+            if spec is not None:
+                from ..backends.registry import descriptor_for
+                device = descriptor_for(spec)
+            else:
+                device = _pricing_devices(config)[0][1]
+            if device.device_type is DeviceType.CPU \
+                    and device.threads_per_unit > 1:
+                tilings = (None, 1)
+        candidates.extend(
+            Candidate(layout=layout, precision=precision, fusion=fusion,
+                      threads_per_unit=tiling, strategy=strategy,
+                      device=spec)
             for layout in (Layout.AOS, Layout.SOA)
             for precision in (Precision.SINGLE, Precision.DOUBLE)
             for fusion in _FUSION_MODES
             for tiling in tilings
-            for strategy in strategies]
+            for strategy in strategies)
+    return candidates
 
 
 # -- pricing -------------------------------------------------------------
@@ -267,9 +291,19 @@ def _predict_on_device(candidate: Candidate, config, n: int,
 def _predict(candidate: Candidate, config, n: int,
              devices: Sequence[Tuple[str, DeviceDescriptor]],
              field_flops: float) -> CandidatePrediction:
-    """Price one candidate across the devices its run would span."""
-    from ..bench.calibration import cost_model_for
+    """Price one candidate across the devices its run would span.
 
+    ``candidate.device`` (the backend axis) overrides the config-level
+    device list: the candidate is priced on its own device alone.  The
+    cost model is dispatched on each descriptor's ``backend`` field, so
+    CUDA candidates are priced with warp-quantised occupancy and
+    graph-replay launch overhead.
+    """
+    from ..backends.registry import (cost_model_for_descriptor,
+                                     descriptor_for)
+
+    if candidate.device is not None:
+        devices = [(candidate.device, descriptor_for(candidate.device))]
     if candidate.strategy is not None:
         from ..distributed.sharding import strategy_by_name
         strategy = strategy_by_name(candidate.strategy,
@@ -283,8 +317,8 @@ def _predict(candidate: Candidate, config, n: int,
         if count <= 0:
             continue
         seconds, roofline = _predict_on_device(
-            candidate, config, count, device, cost_model_for(device),
-            field_flops)
+            candidate, config, count, device,
+            cost_model_for_descriptor(device), field_flops)
         # Shards step concurrently: the group's step is its slowest
         # member (exchange overlaps compute; see docs/DISTRIBUTED.md).
         step_seconds = max(step_seconds, seconds) \
@@ -349,13 +383,18 @@ def apply_candidate(config, candidate: Candidate):
 
     ``config="auto"`` is cleared on the result (it *is* the tuned
     config), and the searched axes are overwritten; everything else is
-    copied through.
+    copied through.  A candidate carrying a ``device`` (the backend
+    axis) also rebinds the run's device — ``tune_devices`` is consumed
+    in the same stroke, the result being a plain single-device config.
     """
-    return dataclasses.replace(
-        config, config=None, layout=candidate.layout,
-        precision=candidate.precision, fusion=candidate.fusion,
-        threads_per_unit=candidate.threads_per_unit,
-        strategy=candidate.strategy)
+    updates = dict(config=None, layout=candidate.layout,
+                   precision=candidate.precision, fusion=candidate.fusion,
+                   threads_per_unit=candidate.threads_per_unit,
+                   strategy=candidate.strategy)
+    if candidate.device is not None:
+        updates["device"] = candidate.device
+        updates["tune_devices"] = None
+    return dataclasses.replace(config, **updates)
 
 
 def check_calibration(prediction: CandidatePrediction,

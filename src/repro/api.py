@@ -1,14 +1,13 @@
 """One front door for every push workload: ``run_push(RunConfig())``.
 
-Before this facade the repo had three runner constructors with three
-overlapping signatures — :class:`~repro.oneapi.runtime.PushEngine`
-(single device), :class:`~repro.resilience.runner.ResilientPushEngine`
-(fallback ladder + fault plans) and
-:class:`~repro.distributed.runner.ShardedPushEngine` (device groups).
-:func:`run_push` keeps all three reachable through one declarative
-:class:`RunConfig` and returns one :class:`RunReport`; the old
-``*PushRunner`` names still work but emit ``DeprecationWarning``
-(see ``docs/API.md`` for the deprecation policy).
+The facade keeps the three engine constructors —
+:class:`~repro.oneapi.runtime.PushEngine` (single device),
+:class:`~repro.resilience.runner.ResilientPushEngine` (fallback ladder
++ fault plans) and :class:`~repro.distributed.runner.ShardedPushEngine`
+(device groups) — reachable through one declarative
+:class:`RunConfig`, returning one :class:`RunReport`.  Device fields
+accept backend-qualified specs (``"cuda:gpu0"``) next to the bare
+oneAPI keys; see :mod:`repro.backends` and ``docs/BACKENDS.md``.
 
 Mode selection is by configuration shape, not by flag:
 
@@ -119,8 +118,9 @@ class RunConfig:
             JIT and cold-page cost; the paper's "first iteration is
             ~1.5x slower" effect).
         dt: Time step [s]; None means the paper's T/100.
-        device: Device key for single-device runs ("cpu", "p630",
-            "iris-xe-max").
+        device: Device spec for single-device runs — a bare oneAPI key
+            ("cpu", "p630", "iris-xe-max") or a backend-qualified spec
+            ("cuda:gpu0"); see :mod:`repro.backends.registry`.
         group: Device-group spec string ("2x iris-xe-max"); selects the
             sharded engine.
         devices: Fallback ladder of device keys; selects the resilient
@@ -169,6 +169,13 @@ class RunConfig:
             the run executes on the calibrated one, so a deliberate
             gap surfaces as calibration warnings.  Leave None outside
             such experiments.
+        tune_devices: Device specs the autotuner may *select between*
+            (``config="auto"``, single mode only): candidates span
+            these devices on top of layout/precision/fusion, the
+            winner's device becomes the run's device.  This is the
+            backend axis — ``("cpu", "cuda:gpu0")`` lets the tuner
+            weigh an oneAPI CPU against a CUDA card.  None keeps the
+            device fixed as written.
     """
 
     scenario: str = "precalculated"
@@ -193,6 +200,7 @@ class RunConfig:
     threads_per_unit: Optional[int] = None
     strategy: Optional[str] = None
     tune_device: Optional[object] = None
+    tune_devices: Optional[Sequence[str]] = None
 
     def validate(self) -> "RunConfig":
         """Normalise enums and reject inconsistent combinations."""
@@ -244,6 +252,26 @@ class RunConfig:
             if self.mode != "sharded":
                 raise ConfigurationError(
                     "strategy needs a device group (set group=...)")
+        if self.tune_devices is not None:
+            if self.config != "auto":
+                raise ConfigurationError(
+                    "tune_devices needs config='auto' — it is an "
+                    "autotuner search axis, not a run setting")
+            if self.mode != "single":
+                raise ConfigurationError(
+                    "tune_devices applies to single-device runs only; "
+                    "group and ladder runs fix their devices")
+            if not self.tune_devices:
+                raise ConfigurationError(
+                    "tune_devices must name at least one device spec")
+            if self.tune_device is not None:
+                raise ConfigurationError(
+                    "tune_device and tune_devices are mutually "
+                    "exclusive: a pricing override assumes a fixed "
+                    "execution device")
+            from .backends.registry import parse_device_spec
+            for spec in self.tune_devices:
+                parse_device_spec(spec)   # typed error on bad backend
         return self
 
     @property
@@ -354,18 +382,15 @@ def _steady_nsps(step_seconds: Sequence[float], n: int,
 
 
 def _run_single(config: RunConfig, source, dt: float) -> "_RunOutcome":
-    from .bench.calibration import cost_model_for, device_by_name
+    from .backends.registry import resolve_device
     from .core.stepping import state_digest
-    from .oneapi.queue import Queue, RuntimeConfig
     from .oneapi.runtime import PushEngine
 
     ensemble = _make_ensemble(config)
-    device = device_by_name(config.device)
+    backend, device = resolve_device(config.device)
     cache = _program_cache(config)
-    queue = Queue(device,
-                  RuntimeConfig(runtime="dpcpp",
-                                threads_per_unit=config.threads_per_unit),
-                  cost_model_for(device), program_cache=cache)
+    queue = backend.make_queue(device, program_cache=cache,
+                               threads_per_unit=config.threads_per_unit)
     engine = PushEngine(queue, ensemble, config.scenario, source, dt,
                         fusion=config.fusion,
                         diagnostics=config.diagnostics)

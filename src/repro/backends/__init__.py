@@ -1,0 +1,30 @@
+"""Runtime backends: pluggable simulated runtimes under one engine stack.
+
+Public surface:
+
+* :class:`~repro.backends.base.Backend` — the contract (device
+  enumeration, cost model, queue/stream construction, host links);
+* :mod:`repro.backends.registry` — names, spec parsing
+  (``"cuda:gpu0"``), and the dispatch helpers every engine uses;
+* :class:`~repro.backends.oneapi.OneApiBackend` — the paper's
+  simulated DPC++ runtime (bare device keys default here);
+* :class:`~repro.backends.cuda.CudaBackend` — the simulated CUDA
+  runtime: in-order streams, warp-quantised occupancy, graph
+  capture/replay launch amortisation, NVRTC-priced JIT;
+* :mod:`repro.backends.portability` — the Pennycook
+  performance-portability score across the whole device matrix.
+
+See ``docs/BACKENDS.md`` for the interface contract and the
+add-a-backend walkthrough.
+"""
+
+from .base import Backend
+from .registry import (BACKEND_NAMES, all_device_specs,
+                       canonical_device_spec, cost_model_for_descriptor,
+                       descriptor_for, get_backend, host_link_for,
+                       parse_device_spec, queue_for, resolve_device)
+
+__all__ = ["Backend", "BACKEND_NAMES", "get_backend", "parse_device_spec",
+           "canonical_device_spec", "resolve_device", "descriptor_for",
+           "cost_model_for_descriptor", "queue_for", "host_link_for",
+           "all_device_specs"]

@@ -1,0 +1,110 @@
+"""The backend contract: what a simulated runtime must provide.
+
+The repo began as a single-runtime reproduction — the simulated oneAPI
+stack in :mod:`repro.oneapi` — and every engine reached straight into
+:mod:`repro.bench.calibration` for devices and cost models.  A
+:class:`Backend` abstracts that seam so a second runtime with genuinely
+different semantics (the simulated CUDA backend in
+:mod:`repro.backends.cuda`) can plug in underneath the same engines,
+facade, service fleet and autotuner.
+
+A backend owns five things:
+
+* **device enumeration** — :meth:`Backend.device_keys` and
+  :meth:`Backend.device`, returning
+  :class:`~repro.oneapi.device.DeviceDescriptor` objects whose
+  ``backend`` field names the owner;
+* **cost model** — :meth:`Backend.cost_model`, a
+  :class:`~repro.oneapi.costmodel.CostModel` (or subclass) carrying the
+  backend's calibration and overridden hooks (occupancy quantisation,
+  launch-overhead behaviour, JIT warm-up shape);
+* **queue/stream construction** — :meth:`Backend.make_queue`, which
+  binds device + cost model + scheduler into a
+  :class:`~repro.oneapi.queue.Queue` with the backend's ordering
+  semantics (oneAPI queues may be out-of-order; CUDA streams are
+  always in-order);
+* **program-cache keying** — implicit through the descriptor's
+  ``backend`` field: every :class:`~repro.oneapi.programcache.
+  ProgramKey` built by a queue carries it, so backends never share
+  compiled artefacts even through one shared cache instance;
+* **host interconnect** — :meth:`Backend.host_link`, the link the
+  distributed layer prices sharded halo exchange over.
+
+Backends register by name in :mod:`repro.backends.registry`; device
+specs are ``"<backend>:<key>"`` (``"cuda:gpu0"``), with bare keys
+(``"cpu"``) defaulting to oneAPI for backward compatibility.  The
+contract every new backend must meet before landing is the
+differential harness: bit-exact sha256 digest agreement with the
+existing backends within each (layout, precision) group — the physics
+kernels are shared, so only the *timing* semantics may differ.  See
+``docs/BACKENDS.md`` for the how-to.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+from ..oneapi.costmodel import CostModel
+from ..oneapi.device import DeviceDescriptor
+from ..oneapi.queue import Queue
+
+__all__ = ["Backend"]
+
+
+class Backend(abc.ABC):
+    """One simulated runtime: devices, cost models, queues, links.
+
+    Implementations are stateless singletons (the registry constructs
+    one per name); per-run state lives in the queues and cost models
+    they build.
+    """
+
+    #: Registry name and device-spec prefix ("oneapi", "cuda").
+    name: str = ""
+
+    @abc.abstractmethod
+    def device_keys(self) -> Tuple[str, ...]:
+        """Bare device keys this backend enumerates, in display order."""
+
+    @abc.abstractmethod
+    def device(self, key: str) -> DeviceDescriptor:
+        """A fresh descriptor for ``key``; raises
+        :class:`~repro.errors.ConfigurationError` for unknown keys.
+        The descriptor's ``backend`` field must equal :attr:`name`."""
+
+    @abc.abstractmethod
+    def cost_model(self, device: DeviceDescriptor) -> CostModel:
+        """A cost model calibrated for ``device``.
+
+        Called once per queue build — a backend whose cost model keeps
+        launch state (capture counters, context initialisation) relies
+        on that freshness, mirroring one runtime context per queue.
+        """
+
+    @abc.abstractmethod
+    def make_queue(self, device: DeviceDescriptor, *,
+                   program_cache=None,
+                   threads_per_unit: Optional[int] = None,
+                   out_of_order: bool = False) -> Queue:
+        """A queue/stream on ``device`` with this backend's semantics.
+
+        ``out_of_order=True`` asks for overlap-capable ordering (the
+        distributed layer's exchange/compute overlap); a backend whose
+        execution streams are inherently in-order may ignore the
+        request and serialise (CUDA does).
+        """
+
+    @abc.abstractmethod
+    def host_link(self, key: str):
+        """The :class:`~repro.distributed.links.LinkDescriptor` of
+        ``key``'s path to host DRAM (prices sharded exchange)."""
+
+    # -- conveniences shared by all backends -----------------------------
+
+    def qualify(self, key: str) -> str:
+        """The fully qualified spec string of ``key``."""
+        return f"{self.name}:{key}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,147 @@
+"""Backend registry and device-spec resolution.
+
+The single place that maps spec strings to (backend, device) pairs.
+A device spec is ``"<backend>:<key>"``; a bare key (no colon) defaults
+to the oneAPI backend, so every pre-backend spelling — ``"cpu"``,
+``"iris-xe-max"``, group specs like ``"2x iris-xe-max"`` — keeps
+meaning exactly what it meant.  The CUDA devices are only reachable
+qualified: ``"cuda:gpu0"``, ``"cuda:gpu1"``.
+
+An unknown backend prefix raises
+:class:`~repro.errors.ConfigurationError` (a :class:`~repro.errors.
+ReproError`), so the CLI reports it as a configuration problem with
+exit code 2 instead of dying on a ``KeyError``.
+
+Backends are lazy singletons: importing this module imports neither
+backend implementation until a spec actually resolves to it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..oneapi.costmodel import CostModel
+from ..oneapi.device import DeviceDescriptor
+from ..oneapi.queue import Queue
+from .base import Backend
+
+__all__ = ["BACKEND_NAMES", "get_backend", "parse_device_spec",
+           "canonical_device_spec", "resolve_device", "descriptor_for",
+           "cost_model_for_descriptor", "queue_for", "host_link_for",
+           "all_device_specs"]
+
+#: Registered backend names, in display order.  The oneAPI backend is
+#: first because bare device keys default to it.
+BACKEND_NAMES: Tuple[str, ...] = ("oneapi", "cuda")
+
+_BACKENDS: Dict[str, Backend] = {}
+
+
+def get_backend(name: str) -> Backend:
+    """The singleton backend registered under ``name``.
+
+    Raises :class:`~repro.errors.ConfigurationError` for unknown names.
+    """
+    key = name.strip().lower()
+    if key not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")
+    backend = _BACKENDS.get(key)
+    if backend is None:
+        if key == "oneapi":
+            from .oneapi import OneApiBackend
+            backend = OneApiBackend()
+        else:
+            from .cuda import CudaBackend
+            backend = CudaBackend()
+        _BACKENDS[key] = backend
+    return backend
+
+
+def parse_device_spec(spec: str) -> Tuple[str, str]:
+    """Split a device spec into ``(backend_name, device_key)``.
+
+    ``"cuda:gpu0"`` -> ``("cuda", "gpu0")``; a bare ``"cpu"`` ->
+    ``("oneapi", "cpu")``.  The backend name is validated here; the
+    device key is validated when the backend resolves it.
+    """
+    text = spec.strip()
+    if not text:
+        raise ConfigurationError("device spec must not be empty")
+    head, sep, tail = text.partition(":")
+    if not sep:
+        return "oneapi", text.lower()
+    backend_name = head.strip().lower()
+    if backend_name not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown backend {head.strip()!r} in device spec {spec!r}; "
+            f"expected one of {BACKEND_NAMES}")
+    key = tail.strip().lower()
+    if not key:
+        raise ConfigurationError(
+            f"device spec {spec!r} names a backend but no device")
+    return backend_name, key
+
+
+def canonical_device_spec(backend_name: str, key: str) -> str:
+    """The canonical spelling of a device: bare for oneAPI (the
+    pre-backend spelling every report and baseline already uses),
+    ``backend:key`` for everything else."""
+    if backend_name == "oneapi":
+        return key
+    return f"{backend_name}:{key}"
+
+
+def resolve_device(spec: str) -> Tuple[Backend, DeviceDescriptor]:
+    """Resolve a spec to its backend and a fresh descriptor."""
+    backend_name, key = parse_device_spec(spec)
+    backend = get_backend(backend_name)
+    return backend, backend.device(key)
+
+
+def descriptor_for(spec: str) -> DeviceDescriptor:
+    """Just the descriptor of ``spec`` (fresh instance)."""
+    return resolve_device(spec)[1]
+
+
+def cost_model_for_descriptor(device: DeviceDescriptor) -> CostModel:
+    """A cost model for a descriptor, dispatched on its backend field.
+
+    The backend-aware replacement for calling
+    :func:`repro.bench.calibration.cost_model_for` directly — that
+    function remains correct for oneAPI descriptors only.
+    """
+    return get_backend(device.backend).cost_model(device)
+
+
+def queue_for(spec: str, *, program_cache=None,
+              threads_per_unit: Optional[int] = None,
+              out_of_order: bool = False) -> Queue:
+    """A ready-to-launch queue/stream on the device ``spec`` names."""
+    backend, device = resolve_device(spec)
+    return backend.make_queue(device, program_cache=program_cache,
+                              threads_per_unit=threads_per_unit,
+                              out_of_order=out_of_order)
+
+
+def host_link_for(spec: str):
+    """The host-DRAM link of the device ``spec`` names."""
+    backend_name, key = parse_device_spec(spec)
+    return get_backend(backend_name).host_link(key)
+
+
+def all_device_specs(backend: Optional[str] = None) -> List[str]:
+    """Canonical specs of every registered device, in backend order.
+
+    ``backend`` filters to one backend (validated — an unknown name
+    raises :class:`~repro.errors.ConfigurationError`).
+    """
+    names = (get_backend(backend).name,) if backend is not None \
+        else BACKEND_NAMES
+    specs: List[str] = []
+    for name in names:
+        impl = get_backend(name)
+        specs.extend(canonical_device_spec(name, key)
+                     for key in impl.device_keys())
+    return specs

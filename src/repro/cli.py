@@ -8,8 +8,14 @@ Usage::
     python -m repro first-iter        # in-text first-iteration effect
     python -m repro threads           # in-text hyperthreading effect
     python -m repro measure           # real numpy kernel NSPS on this host
-    python -m repro devices           # simulated device inventory
+    python -m repro devices           # device inventory, every backend
+    python -m repro portability       # Pennycook PP score sweep
     python -m repro trace table2 --out t.json   # traced run -> Chrome JSON
+
+Device flags accept backend-qualified specs (``cuda:gpu0``) anywhere a
+bare key (``cpu``, ``iris-xe-max``) works; ``repro devices --backend
+cuda`` filters the inventory and ``repro portability`` scores the
+portable configuration across the whole matrix (docs/BACKENDS.md).
 
 ``--particles`` scales the modelled ensemble (default: the paper's
 1e7; the model is O(1) in memory, so the default is cheap).
@@ -239,14 +245,15 @@ def _cmd_validate(args: argparse.Namespace) -> None:
 
 
 def _cmd_devices(args: argparse.Namespace) -> None:
-    from .distributed import default_link_table
-    links = default_link_table()
+    from .backends.registry import (all_device_specs, host_link_for,
+                                    resolve_device)
+    specs = all_device_specs(backend=getattr(args, "backend", None))
     rows = []
-    for name in DEVICE_NAMES:
-        device = device_by_name(name)
-        link = links.host_link(name)
+    for spec in specs:
+        backend, device = resolve_device(spec)
+        link = host_link_for(spec)
         rows.append([
-            name, device.name, device.device_type.value,
+            spec, backend.name, device.name, device.device_type.value,
             device.compute_units, device.threads_per_unit,
             device.numa_domains,
             f"{device.peak_flops(Precision.SINGLE) / 1e12:.2f} TF",
@@ -255,12 +262,55 @@ def _cmd_devices(args: argparse.Namespace) -> None:
             f"{link.name} ({link.bandwidth / 1e9:.1f} GB/s)",
         ])
     print(format_table(
-        ["key", "device", "type", "units", "thr/u", "domains",
+        ["spec", "backend", "device", "type", "units", "thr/u", "domains",
          "peak SP", "peak DP", "bandwidth", "host link"],
-        rows, "Simulated devices (paper Table 1)"))
+        rows, "Simulated devices (paper Table 1 + CUDA-class cards)"))
     print("(peak DP on the Iris Xe Max reflects emulated double "
           "precision; 'host link' prices sharded exchange — "
-          "see docs/DISTRIBUTED.md)")
+          "see docs/DISTRIBUTED.md and docs/BACKENDS.md)")
+
+
+def _cmd_portability(args: argparse.Namespace) -> None:
+    from .backends.portability import (PP_DRIFT_TOLERANCE,
+                                       check_drift, load_baseline,
+                                       measure_portability,
+                                       write_baseline)
+    if args.portability_devices:
+        devices = [d.strip()
+                   for d in args.portability_devices.split(",")]
+    elif getattr(args, "device", None):
+        devices = [args.device]
+    else:
+        devices = None
+    report = measure_portability(
+        devices=devices,
+        n_particles=args.portability_particles,
+        steps=args.steps, warmup=args.warmup)
+    rows = [[row.device, row.backend,
+             f"{row.best_nsps:.3f}", row.best_label,
+             f"{row.portable_nsps:.3f}", f"{row.efficiency:.3f}"]
+            for row in report.devices]
+    print(format_table(
+        ["device", "backend", "best NSPS", "best config",
+         "portable NSPS", "efficiency"],
+        rows,
+        "Performance portability — autotuned vs fixed SoA/float/fused"))
+    print(f"PP score (harmonic mean of efficiencies): {report.pp:.4f} "
+          f"over {len(report.devices)} devices — see docs/BACKENDS.md")
+    if getattr(args, "record", False):
+        directory = getattr(args, "record_dir", None) or "benchmarks"
+        path = write_baseline(
+            report, os.path.join(directory, "BENCH_portability.json"))
+        print(f"recorded baseline -> {path}")
+    elif args.check_baseline:
+        baseline = load_baseline(args.check_baseline)
+        findings = check_drift(report, baseline)
+        if findings:
+            for finding in findings:
+                print(f"drift: {finding}")
+            raise SystemExit(1)
+        print(f"within {PP_DRIFT_TOLERANCE:.0%} of the committed "
+              f"baseline (PP {baseline.pp:.4f})")
 
 
 def _cmd_shard(args: argparse.Namespace) -> None:
@@ -571,8 +621,12 @@ def _runner_parent() -> argparse.ArgumentParser:
     reorders the fallback ladder).
     """
     parent = argparse.ArgumentParser(add_help=False)
-    parent.add_argument("--device", choices=DEVICE_NAMES, default=None,
-                        help="target device key (command-specific "
+    parent.add_argument("--device", default=None, metavar="SPEC",
+                        help="target device spec, optionally backend-"
+                             "qualified ('iris-xe-max', 'cuda:gpu0'; "
+                             "see 'repro devices'); validated by the "
+                             "backend registry, so unknown backends "
+                             "or keys exit 2 (command-specific "
                              "default; for tables, filters recorded "
                              "cells)")
     parent.add_argument("--group", default=None, metavar="SPEC",
@@ -799,13 +853,47 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--no-differential", action="store_true",
                           help="paper-claim checks only, skip the "
                                "differential sweep")
+    devices = sub.add_parser(
+        "devices",
+        help="list simulated devices across every backend")
+    devices.add_argument("--backend", default=None, metavar="NAME",
+                         help="show one backend only ('oneapi' or "
+                              "'cuda'); validated by the registry, so "
+                              "an unknown name exits 2")
+    portability = sub.add_parser(
+        "portability", parents=[parent],
+        help="Pennycook PP sweep: autotuned vs fixed-config NSPS on "
+             "every device of every backend; --record writes "
+             "benchmarks/BENCH_portability.json (see docs/BACKENDS.md)")
+    portability.add_argument("--portability-devices", default=None,
+                             metavar="SPECS",
+                             help="comma-separated device specs to "
+                                  "sweep (default: every registered "
+                                  "device)")
+    portability.add_argument("--portability-particles", type=int,
+                             default=20_000,
+                             help="ensemble size per run (default "
+                                  "20000; physics-carrying, so keep "
+                                  "it modest)")
+    portability.add_argument("--steps", type=int, default=4,
+                             help="measured push steps per run "
+                                  "(default 4)")
+    portability.add_argument("--warmup", type=int, default=2,
+                             help="warm-up steps excluded from steady "
+                                  "NSPS (default 2)")
+    portability.add_argument("--check-baseline", default=None,
+                             metavar="PATH",
+                             help="compare against a committed "
+                                  "baseline and exit 1 on PP-score "
+                                  "drift beyond the tolerance")
     commands += [
         measure,
         escape,
         sub.add_parser("roofline",
                        help="arithmetic-intensity analysis per device"),
         validate,
-        sub.add_parser("devices", help="list simulated devices"),
+        devices,
+        portability,
         faults,
         shard,
         push,
@@ -839,6 +927,7 @@ _COMMANDS = {
     "roofline": _cmd_roofline,
     "validate": _cmd_validate,
     "devices": _cmd_devices,
+    "portability": _cmd_portability,
     "faults": _cmd_faults,
     "shard": _cmd_shard,
     "push": _cmd_push,

@@ -18,8 +18,7 @@ from .sharding import (STRATEGY_NAMES, EvenSharding, NspsRebalancer,
                        split_counts, strategy_by_name)
 from .group import DeviceGroup, GroupMember, parse_group_spec
 from .exchange import ExchangeModel, ExchangePolicy, ExchangeReport
-from .runner import (GroupReport, ShardedPushEngine, ShardedPushRunner,
-                     ShardReport)
+from .runner import GroupReport, ShardedPushEngine, ShardReport
 
 __all__ = [
     "LinkDescriptor", "LinkTable", "default_link_table",
@@ -29,5 +28,5 @@ __all__ = [
     "strategy_by_name",
     "DeviceGroup", "GroupMember", "parse_group_spec",
     "ExchangeModel", "ExchangePolicy", "ExchangeReport",
-    "GroupReport", "ShardedPushEngine", "ShardedPushRunner", "ShardReport",
+    "GroupReport", "ShardedPushEngine", "ShardReport",
 ]

@@ -13,13 +13,16 @@ Groups are described by a compact spec string, the same grammar the
 
     "2x iris-xe-max"            # homogeneous pair
     "cpu, p630, iris-xe-max"    # one of everything
-    "cpu, 2x iris-xe-max"       # mixed
+    "cpu, 2x cuda:gpu0"         # mixed, spanning backends
 
-Each member's queue is out-of-order (``RuntimeConfig(in_order=False)``)
-so exchange commands can overlap push kernels, and CPUs get the
-paper's best configuration (NUMA arenas).  The group's simulated
-completion time is the *makespan over members* — devices run
-concurrently, so a step costs what its slowest shard costs.
+Keys may be backend-qualified (see :mod:`repro.backends.registry`);
+each member's queue comes from its own backend.  Out-of-order
+ordering is *requested* so exchange commands can overlap push kernels
+— oneAPI queues grant it (CPUs additionally get the paper's best
+configuration, NUMA arenas), while CUDA streams are inherently
+in-order and serialise instead.  The group's simulated completion
+time is the *makespan over members* — devices run concurrently, so a
+step costs what its slowest shard costs.
 """
 
 from __future__ import annotations
@@ -27,11 +30,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-from ..bench.calibration import DEVICE_NAMES, cost_model_for, device_by_name
+from ..backends.registry import host_link_for, resolve_device
 from ..errors import ConfigurationError
-from ..oneapi.device import DeviceDescriptor, DeviceType
+from ..oneapi.device import DeviceDescriptor
 from ..oneapi.programcache import ProgramCache
-from ..oneapi.queue import NUMA_DOMAINS, Queue, RuntimeConfig
+from ..oneapi.queue import Queue
 from .links import LinkDescriptor, LinkTable, default_link_table
 
 __all__ = ["GroupMember", "DeviceGroup", "parse_group_spec"]
@@ -67,8 +70,10 @@ def parse_group_spec(spec: str) -> List[str]:
     """Expand a group spec string into a list of device keys.
 
     Grammar: comma-separated entries, each ``<key>`` or ``<n>x <key>``
-    (whitespace optional).  Keys are validated against the canonical
-    device names.
+    (whitespace optional).  Keys may be backend-qualified device specs
+    (``"2x cuda:gpu0, cpu"``); each is validated through the backend
+    registry, so an unknown device or backend raises a typed
+    :class:`~repro.errors.ConfigurationError`.
     """
     keys: List[str] = []
     for raw in spec.split(","):
@@ -87,25 +92,22 @@ def parse_group_spec(spec: str) -> List[str]:
             raise ConfigurationError(
                 f"repeat count must be >= 1 in group spec entry {raw!r}")
         key = entry.strip().lower()
-        if key not in DEVICE_NAMES:
-            raise ConfigurationError(
-                f"unknown device {key!r} in group spec {spec!r}; "
-                f"expected one of {DEVICE_NAMES}")
+        resolve_device(key)   # raises ConfigurationError when unknown
         keys.extend([key] * count)
     if not keys:
         raise ConfigurationError(f"group spec {spec!r} names no devices")
     return keys
 
 
-def _member_config(device: DeviceDescriptor) -> RuntimeConfig:
-    """Runtime configuration for one group member's queue.
-
-    Out-of-order (exchange must overlap pushes); CPUs additionally get
-    the paper's best setting, NUMA arenas via ``DPCPP_CPU_PLACES``.
-    """
-    places = NUMA_DOMAINS if device.device_type is DeviceType.CPU else ""
-    return RuntimeConfig(runtime="dpcpp", cpu_places=places,
-                         in_order=False)
+def _default_links(keys: Sequence[str]) -> LinkTable:
+    """The built-in link table extended with every member's backend
+    host link, so groups spanning backends (``"cpu, cuda:gpu0"``)
+    price their exchanges without a hand-built table."""
+    extra = {}
+    for key in keys:
+        if ":" in key:
+            extra[key] = host_link_for(key)
+    return default_link_table(extra or None)
 
 
 class DeviceGroup:
@@ -138,13 +140,13 @@ class DeviceGroup:
             raise ConfigurationError(
                 f"got {len(names)} names for {len(keys)} devices")
         self.link_table = link_table if link_table is not None \
-            else default_link_table()
+            else _default_links(keys)
         self.program_cache = program_cache if program_cache is not None \
             else ProgramCache()
         per_key_count: Dict[str, int] = {}
         self.members: List[GroupMember] = []
         for index, key in enumerate(keys):
-            base = device_by_name(key)
+            backend, base = resolve_device(key)
             instance = per_key_count.get(key, 0)
             per_key_count[key] = instance + 1
             name = names[index] if names is not None \
@@ -152,9 +154,11 @@ class DeviceGroup:
             # The rename keeps cards distinguishable; ``model`` keeps
             # the JIT identity shared across same-model instances.
             device = replace(base, name=name, model=base.model or base.name)
-            queue = Queue(device, config=_member_config(device),
-                          cost_model=cost_model_for(device),
-                          program_cache=self.program_cache)
+            # Out-of-order is a *request* (exchange should overlap
+            # pushes); a backend whose streams are inherently in-order
+            # (CUDA) serialises instead — visible in the makespan.
+            queue = backend.make_queue(device, out_of_order=True,
+                                       program_cache=self.program_cache)
             self.members.append(GroupMember(
                 key=key, index=index, device=device, queue=queue,
                 host_link=self.link_table.host_link(key)))

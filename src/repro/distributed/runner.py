@@ -62,8 +62,7 @@ from .exchange import ExchangeModel, ExchangePolicy, ExchangeReport
 from .group import DeviceGroup
 from .sharding import EvenSharding, ShardingStrategy
 
-__all__ = ["ShardReport", "GroupReport", "ShardedPushEngine",
-           "ShardedPushRunner"]
+__all__ = ["ShardReport", "GroupReport", "ShardedPushEngine"]
 
 
 @dataclass
@@ -476,20 +475,3 @@ class ShardedPushEngine:
             self.ensemble.size, group.devices))
         self.shards = self._partition(self.counts)
         self.redistributions += 1
-
-
-class ShardedPushRunner(ShardedPushEngine):
-    """Deprecated name of :class:`ShardedPushEngine`.
-
-    Kept as a thin shim so pre-facade code keeps working; new code
-    should call :func:`repro.api.run_push` with a group spec.
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        import warnings
-
-        warnings.warn(
-            "ShardedPushRunner is deprecated; use repro.api.run_push() "
-            "or repro.distributed.ShardedPushEngine instead",
-            DeprecationWarning, stacklevel=2)
-        super().__init__(*args, **kwargs)

@@ -56,7 +56,7 @@ by the distributed layer when a cost-modeled exchange stalls) are
 *transient* (a bounded retry with backoff can succeed), while
 :class:`DeviceLostError` is *fatal to the device* (recovery means
 failing over to the next device in the fallback chain — or, for a
-sharded :class:`~repro.distributed.ShardedPushRunner`, redistributing
+sharded :class:`~repro.distributed.ShardedPushEngine`, redistributing
 the lost shard over the surviving devices — and restoring from a
 checkpoint).
 """

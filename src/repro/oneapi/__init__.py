@@ -54,7 +54,6 @@ from .runtime import (
     build_field_eval_spec,
     build_diagnostics_spec,
     PushEngine,
-    PushRunner,
 )
 
 __all__ = [
@@ -73,7 +72,6 @@ __all__ = [
     "build_field_eval_spec",
     "build_diagnostics_spec",
     "PushEngine",
-    "PushRunner",
     "CacheStats",
     "ProgramCache",
     "ProgramKey",

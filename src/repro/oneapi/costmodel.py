@@ -139,6 +139,43 @@ class CostModel:
         self.gpu_strided_efficiency = gpu_strided_efficiency
         self.cold_line_latency = cold_line_latency
 
+    # -- backend hooks ---------------------------------------------------
+    #
+    # A non-oneAPI backend (see repro.backends) subclasses CostModel and
+    # overrides these three seams instead of re-deriving the roofline:
+    # occupancy quantisation (CUDA warps), the steady-state launch
+    # overhead the *predictors* assume (graph replay amortisation), and
+    # the per-launch overhead the *measured* path charges (which may be
+    # stateful — capture thresholds, one-off context initialisation).
+
+    def _occupancy_items(self, busiest: float) -> float:
+        """Occupancy-quantised work items on the busiest compute unit.
+
+        The oneAPI model charges exactly the scheduled items; backends
+        whose hardware retires work in fixed-size bundles (CUDA warps)
+        round up here, on both the measured and predicted paths.
+        """
+        return busiest
+
+    def _steady_launch_overhead(self) -> float:
+        """Per-launch overhead a warm steady-state launch pays.
+
+        Used by :meth:`estimate_spec_seconds` and
+        :meth:`predict_launch_seconds` — the planning/tuning paths that
+        price the configuration a long run converges to.
+        """
+        return self.device.kernel_launch_overhead
+
+    def _measured_launch_overhead(self, spec: KernelSpec) -> float:
+        """Per-launch overhead charged to one *measured* launch.
+
+        Unlike the steady-state hook this may be stateful: a backend
+        can charge one-off setup to the first launch or discount
+        overhead only after a repeated launch pattern has been
+        captured.  Called exactly once per timed launch.
+        """
+        return self.device.kernel_launch_overhead
+
     # -- memory side -----------------------------------------------------
 
     def _stream_multiplier(self, stream: MemoryStream) -> float:
@@ -213,7 +250,7 @@ class CostModel:
                         / device.achievable_flops(precision,
                                                   device.compute_units))
         return max(memory_time, compute_time) \
-            + device.kernel_launch_overhead
+            + self._steady_launch_overhead()
 
     def predict_launch_seconds(self, spec: KernelSpec, n_items: int,
                                precision: Precision = Precision.DOUBLE,
@@ -301,7 +338,8 @@ class CostModel:
             busiest = min(n_items, tpu * per_thread * wg)
         else:
             busiest = n_items / units
-        compute_time = busiest * flops_item / per_unit_flops
+        compute_time = self._occupancy_items(busiest) * flops_item \
+            / per_unit_flops
 
         # -- scheduling and runtime overheads ----------------------------
         if device.device_type is DeviceType.CPU:
@@ -319,7 +357,7 @@ class CostModel:
         else:
             scheduling = self.static_launch_barrier
         return max(memory_time, compute_time) + scheduling \
-            + device.kernel_launch_overhead
+            + self._steady_launch_overhead()
 
     # -- the launch ---------------------------------------------------------
 
@@ -431,7 +469,8 @@ class CostModel:
         if precision is Precision.DOUBLE:
             per_unit_flops *= device.dp_throughput_ratio
         busiest = max(schedule.items_per_unit().values(), default=0)
-        compute_time = busiest * flops_item / per_unit_flops
+        compute_time = self._occupancy_items(busiest) * flops_item \
+            / per_unit_flops
 
         # ---- 4. scheduling and runtime overheads ---------------------------
         if schedule.dynamic:
@@ -444,14 +483,15 @@ class CostModel:
         else:
             scheduling = self.static_launch_barrier
 
-        # ---- 5. warm-up -----------------------------------------------------
+        # ---- 5. warm-up and launch overhead --------------------------------
         jit = 0.0 if jit_compiled else device.jit_compile_seconds
         cold = cold_pages * self.cold_line_latency * _LINES_PER_PAGE
+        overhead = self._measured_launch_overhead(spec)
 
         timing.memory_seconds = memory_time
         timing.compute_seconds = compute_time
         timing.scheduling_seconds = scheduling
-        timing.launch_overhead_seconds = device.kernel_launch_overhead
+        timing.launch_overhead_seconds = overhead
         timing.jit_seconds = jit
         timing.cold_page_seconds = cold
         timing.bytes_moved = total_traffic
@@ -460,7 +500,7 @@ class CostModel:
         timing.cold_pages = cold_pages
         timing.bound = "memory" if memory_time >= compute_time else "compute"
         timing.total_seconds = (max(memory_time, compute_time) + scheduling
-                                + device.kernel_launch_overhead + jit + cold)
+                                + overhead + jit + cold)
         return timing
 
 

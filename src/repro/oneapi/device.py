@@ -91,6 +91,11 @@ class DeviceDescriptor:
             caching keys on :attr:`jit_key`, which prefers this field.
             Empty means "the name is the model" (the single-device
             case).
+        backend: Name of the runtime backend that owns this device
+            (see :mod:`repro.backends`).  Program-cache keys carry it
+            so a kernel chain compiled by one backend is never a warm
+            hit for another — a SPIR-V program and a cubin are
+            different artefacts even for the same chain.
     """
 
     name: str
@@ -114,6 +119,7 @@ class DeviceDescriptor:
     jit_compile_seconds: float = 0.15
     host_transfer_bandwidth: float = 1.0e15
     model: str = ""
+    backend: str = "oneapi"
 
     def __post_init__(self) -> None:
         if self.compute_units < 1:

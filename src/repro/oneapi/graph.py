@@ -422,7 +422,8 @@ class GraphExecutor:
                 chain=tuple(n.name for n in nodes),
                 device=self.queue.device.jit_key,
                 layout=nodes[0].layout,
-                precision=nodes[0].precision.value)
+                precision=nodes[0].precision.value,
+                backend=self.queue.device.backend)
             record = self.queue.parallel_for(
                 nodes[0].n_items, spec,
                 kernel=body if bodies else None,

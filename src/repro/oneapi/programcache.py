@@ -21,9 +21,14 @@ simulated runtime:
   the per-card instance name).
 
 Keys are :class:`ProgramKey` — ``(kernel chain, device, layout,
-precision)`` — so a fused kernel chain is a different program from its
-constituent kernels, and the same chain rebuilt for another layout or
-precision is a different program too (a real JIT specialises on both).
+precision, backend)`` — so a fused kernel chain is a different program
+from its constituent kernels, and the same chain rebuilt for another
+layout or precision is a different program too (a real JIT specialises
+on both).  The backend field keeps runtimes isolated: the same chain
+JIT-compiled by the simulated oneAPI backend (SPIR-V -> ISA) is *not*
+a warm hit for the simulated CUDA backend (NVRTC -> cubin), even when
+one shared cache instance backs queues of both (see
+:mod:`repro.backends`).
 """
 
 from __future__ import annotations
@@ -54,12 +59,16 @@ class ProgramKey:
         layout: Particle layout the program was specialised for ("AoS",
             "SoA", or "" when the kernel is layout-agnostic).
         precision: Storage precision label ("float", "double", or "").
+        backend: Runtime backend that compiled the program (see
+            :mod:`repro.backends`); distinct backends never share
+            compiled artefacts.
     """
 
     chain: Tuple[str, ...]
     device: str
     layout: str = ""
     precision: str = ""
+    backend: str = "oneapi"
 
     def __post_init__(self) -> None:
         if not self.chain or any(not name for name in self.chain):
@@ -68,17 +77,23 @@ class ProgramKey:
                 f"got {self.chain!r}")
         if not self.device:
             raise ConfigurationError("program key needs a device identity")
+        if not self.backend:
+            raise ConfigurationError("program key needs a backend identity")
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready representation (the persistence file format)."""
         return {"chain": list(self.chain), "device": self.device,
-                "layout": self.layout, "precision": self.precision}
+                "layout": self.layout, "precision": self.precision,
+                "backend": self.backend}
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ProgramKey":
+        # ``backend`` defaults to "oneapi" so persistence files written
+        # before the backend field existed load as oneAPI programs.
         return cls(chain=tuple(data["chain"]), device=str(data["device"]),
                    layout=str(data.get("layout", "")),
-                   precision=str(data.get("precision", "")))
+                   precision=str(data.get("precision", "")),
+                   backend=str(data.get("backend", "oneapi")))
 
 
 @dataclass
@@ -159,32 +174,39 @@ class ProgramCache:
             return key in self._entries
 
     def warm_profiles(self) -> frozenset:
-        """Snapshot of warm ``(device, layout, precision)`` triples.
+        """Snapshot of warm ``(backend, device, layout, precision)`` rows.
 
         The cache-locality signal the service scheduler's bin-packer
-        reads: a job whose (device model, layout, precision) profile
-        appears here will pay no JIT on that model, so placing it there
-        amortizes the compile another job already charged.  Coarser
-        than :meth:`is_warm` on purpose — placement happens before the
-        job's exact kernel chains exist.
+        reads: a job whose (backend, device model, layout, precision)
+        profile appears here will pay no JIT on that model, so placing
+        it there amortizes the compile another job already charged.
+        Coarser than :meth:`is_warm` on purpose — placement happens
+        before the job's exact kernel chains exist.
         """
         with self._lock:
-            return frozenset((key.device, key.layout, key.precision)
-                             for key in self._entries)
+            return frozenset(
+                (key.backend, key.device, key.layout, key.precision)
+                for key in self._entries)
 
     def is_profile_warm(self, device: str, layout: str,
-                        precision: str) -> bool:
+                        precision: str,
+                        backend: Optional[str] = None) -> bool:
         """Whether any program is warm for this placement profile.
 
         ``device`` is a :attr:`DeviceDescriptor.jit_key` (the model);
         ``layout``/``precision`` are the spelled values a
         :class:`ProgramKey` carries ("SoA", "float", ...).  Programs
         keyed with empty layout/precision (layout-agnostic kernels)
-        match any requested value.
+        match any requested value.  ``backend`` pins the check to one
+        runtime's programs — a chain another backend compiled is a
+        different artefact and never counts as warm; ``None`` matches
+        any backend (pre-backend behaviour).
         """
         with self._lock:
             for key in self._entries:
                 if key.device != device:
+                    continue
+                if backend is not None and key.backend != backend:
                     continue
                 if key.layout in ("", layout) \
                         and key.precision in ("", precision):

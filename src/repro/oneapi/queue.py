@@ -219,7 +219,8 @@ class Queue:
         if program_key is None:
             program_key = ProgramKey(chain=(spec.name,),
                                      device=self.device.jit_key,
-                                     precision=precision.value)
+                                     precision=precision.value,
+                                     backend=self.device.backend)
         jit_done = (self.config.runtime == "openmp"
                     or self.program_cache.is_warm(program_key))
         if not jit_done and injector is not None:

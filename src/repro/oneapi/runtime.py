@@ -2,7 +2,7 @@
 
 Builds :class:`~repro.oneapi.kernelspec.KernelSpec` objects for the
 Boris push under the paper's two scenarios, in either layout and
-precision, and provides :class:`PushRunner`, which drives the *real*
+precision, and provides :class:`PushEngine`, which drives the *real*
 numpy kernels through a :class:`~repro.oneapi.queue.Queue` so each
 step produces both physics and a simulated launch time.
 
@@ -18,7 +18,6 @@ Two spec flavours:
 
 from __future__ import annotations
 
-import warnings
 from typing import List, Optional
 
 import numpy as np
@@ -42,7 +41,7 @@ from .queue import KernelLaunchRecord, Queue
 __all__ = ["PUSH_FLOPS", "build_push_spec", "build_virtual_push_spec",
            "build_field_eval_spec", "build_diagnostics_spec",
            "build_virtual_field_eval_spec", "build_virtual_diagnostics_spec",
-           "build_virtual_step_graph", "PushEngine", "PushRunner"]
+           "build_virtual_step_graph", "PushEngine"]
 
 #: Arithmetic of the Boris push per particle-step (single-precision
 #: equivalent flops): momentum update + two gamma evaluations +
@@ -562,19 +561,3 @@ class PushEngine:
         method so callers need not know the engine shape.
         """
         return (self.queue,)
-
-
-class PushRunner(PushEngine):
-    """Deprecated name of :class:`PushEngine`.
-
-    Kept as a thin shim so pre-facade code keeps working; new code
-    should call :func:`repro.api.run_push` (or construct
-    :class:`PushEngine` directly when driving steps by hand).
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        warnings.warn(
-            "PushRunner is deprecated; use repro.api.run_push() or "
-            "repro.oneapi.PushEngine instead",
-            DeprecationWarning, stacklevel=2)
-        super().__init__(*args, **kwargs)

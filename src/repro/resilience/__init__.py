@@ -36,8 +36,7 @@ from .recovery import (RecoveryStats, RetryPolicy, Watchdog,
                        allocate_with_retry, launch_with_retry,
                        run_with_retry)
 from .checkpoint import Checkpointer
-from .runner import (DEVICE_LADDER, RecoveryReport, ResilientPushEngine,
-                     ResilientPushRunner)
+from .runner import DEVICE_LADDER, RecoveryReport, ResilientPushEngine
 from .selfcheck import SelfCheckResult, chaos_self_check
 
 __all__ = [
@@ -61,7 +60,6 @@ __all__ = [
     "DEVICE_LADDER",
     "RecoveryReport",
     "ResilientPushEngine",
-    "ResilientPushRunner",
     "SelfCheckResult",
     "chaos_self_check",
 ]

@@ -7,7 +7,7 @@ share the naming and pruning logic:
 
 * **push state** (:meth:`save_push` / :meth:`load_push`) — one
   ensemble plus its (step, time) pair, for bare Boris-push loops
-  (:class:`~repro.resilience.runner.ResilientPushRunner`, the
+  (:class:`~repro.resilience.runner.ResilientPushEngine`, the
   ``checkpoint_resume`` example);
 * **simulation state** (:meth:`save_simulation` /
   :meth:`load_simulation`) — a whole

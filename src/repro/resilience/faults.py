@@ -37,7 +37,7 @@ kind                  injection site
                       recovery layer scrubs it
 ``scheduler-imbalance``  :class:`repro.oneapi.scheduler.DynamicScheduler`
                       — half the worker threads stall for one launch
-``device-loss``       :meth:`repro.oneapi.runtime.PushRunner.step` —
+``device-loss``       :meth:`repro.oneapi.runtime.PushEngine.step` —
                       the whole device dies, permanently
                       (``DeviceLostError``)
 ``exchange-stall``    :meth:`repro.oneapi.queue.Queue.memcpy_async` —

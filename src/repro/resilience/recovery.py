@@ -15,7 +15,7 @@ Error classification (see :mod:`repro.errors`):
   backoff + deterministic jitter;
 * **fatal** — ``DeviceLostError``: never retried here; it propagates to
   the device-fallback logic in
-  :class:`~repro.resilience.runner.ResilientPushRunner`.
+  :class:`~repro.resilience.runner.ResilientPushEngine`.
 """
 
 from __future__ import annotations
@@ -130,7 +130,7 @@ def run_with_retry(operation: Callable[[], object], queue, spec,
 
     ``operation`` is any no-argument callable whose failure modes are
     the runtime's (it typically wraps ``queue.parallel_for`` or one
-    :meth:`~repro.oneapi.runtime.PushRunner.step`); ``spec`` is the
+    :meth:`~repro.oneapi.runtime.PushEngine.step`); ``spec`` is the
     kernel spec it launches (used to scrub poisoned allocations and to
     label timeline slices).  Transient failures charge the simulated
     timeline — ``watchdog:<kernel>`` for the burned timeout of a hung

@@ -16,7 +16,6 @@ an uninterrupted run's — the acceptance bar of the resilience layer.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -28,8 +27,7 @@ from .checkpoint import Checkpointer
 from .faults import active_fault_injector
 from .recovery import RecoveryStats, RetryPolicy, Watchdog, run_with_retry
 
-__all__ = ["DEVICE_LADDER", "RecoveryReport", "ResilientPushEngine",
-           "ResilientPushRunner"]
+__all__ = ["DEVICE_LADDER", "RecoveryReport", "ResilientPushEngine"]
 
 #: Default fallback chain — the paper's Table 3 devices, fastest first.
 DEVICE_LADDER = ("iris-xe-max", "p630", "cpu")
@@ -137,24 +135,24 @@ class ResilientPushEngine:
     def _build(self, device_name: str) -> None:
         """(Re)build the queue and push runner on ``device_name``.
 
-        Imports the bench calibration lazily to keep
+        ``device_name`` may be any backend-qualified device spec (the
+        ladder can demote across backends: ``("cuda:gpu0", "cpu")``).
+        Imports the backend registry lazily to keep
         ``repro.resilience`` importable without the bench package (and
         free of import cycles).  Injected allocation failures during the
         rebuild are retried under the policy; their backoff is charged
         to the *new* queue's timeline once it exists.
         """
-        from ..bench.calibration import cost_model_for, device_by_name
-        from ..oneapi.queue import Queue, RuntimeConfig
+        from ..backends.registry import resolve_device
         from ..oneapi.runtime import PushEngine
 
-        device = device_by_name(device_name)
+        backend, device = resolve_device(device_name)
         delays = self.policy.delay_sequence()
         penalty = 0.0
         for attempt in range(self.policy.max_attempts):
             try:
-                queue = Queue(device, RuntimeConfig(runtime="dpcpp"),
-                              cost_model_for(device),
-                              program_cache=self.program_cache)
+                queue = backend.make_queue(
+                    device, program_cache=self.program_cache)
                 runner = PushEngine(queue, self.ensemble, self.scenario,
                                     self.source, self.dt,
                                     fusion=self.fusion)
@@ -272,18 +270,3 @@ class ResilientPushEngine:
         report.restores = self.restores
         report.replayed_steps = self.replayed_steps
         return records, report
-
-
-class ResilientPushRunner(ResilientPushEngine):
-    """Deprecated name of :class:`ResilientPushEngine`.
-
-    Kept as a thin shim so pre-facade code keeps working; new code
-    should call :func:`repro.api.run_push` with a device ladder.
-    """
-
-    def __init__(self, *args, **kwargs) -> None:
-        warnings.warn(
-            "ResilientPushRunner is deprecated; use repro.api.run_push() "
-            "or repro.resilience.ResilientPushEngine instead",
-            DeprecationWarning, stacklevel=2)
-        super().__init__(*args, **kwargs)

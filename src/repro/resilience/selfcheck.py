@@ -29,7 +29,7 @@ from .checkpoint import Checkpointer
 from .faults import fault_injection
 from .plans import PLAN_NAMES, named_plan
 from .recovery import RetryPolicy
-from .runner import ResilientPushRunner
+from .runner import ResilientPushEngine
 
 __all__ = ["SelfCheckResult", "chaos_self_check"]
 
@@ -99,7 +99,7 @@ def chaos_self_check(seeds: Sequence[int] = (0, 1, 2),
                 with fault_injection(named_plan(plan_name),
                                      seed=seed) as injector:
                     try:
-                        runner = ResilientPushRunner(
+                        runner = ResilientPushEngine(
                             ensemble, "analytical", source, dt,
                             policy=RetryPolicy(seed=seed),
                             checkpointer=checkpointer)

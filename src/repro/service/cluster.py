@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
-from ..bench.calibration import device_by_name
+from ..backends.registry import resolve_device
 from ..distributed.group import parse_group_spec
 from ..errors import ConfigurationError
 
@@ -84,7 +84,7 @@ class DeviceFleet:
         self.nodes: List[Node] = []
         counts: Dict[str, int] = {}
         for index, key in enumerate(keys):
-            base = device_by_name(key)
+            base = resolve_device(key)[1]
             instance = counts.get(key, 0)
             counts[key] = instance + 1
             descriptor = replace(base,

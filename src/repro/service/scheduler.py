@@ -391,7 +391,7 @@ class PushService:
         config = spec.config
         warm = self.program_cache.is_profile_warm(
             node.device.jit_key, config.layout.value,
-            config.precision.value)
+            config.precision.value, backend=node.device.backend)
         return (0 if warm else 1, node.free_at,
                 _LADDER_RANK.get(node.key, len(_LADDER_RANK)), node.index)
 
@@ -440,21 +440,19 @@ class PushService:
 
     def _build_engine(self, job: _Job, node: Node):
         """(Re)build queue + engine on ``node`` (alloc faults retried)."""
-        from ..bench.calibration import cost_model_for
-        from ..oneapi.queue import Queue, RuntimeConfig
+        from ..backends.registry import get_backend
         from ..oneapi.runtime import PushEngine
 
         config = job.spec.config
         source, dt = self._physics(config)
+        backend = get_backend(node.device.backend)
         delays = self.retry_policy.delay_sequence()
         penalty = 0.0
         for attempt in range(self.retry_policy.max_attempts):
             try:
-                queue = Queue(
+                queue = backend.make_queue(
                     node.device,
-                    RuntimeConfig(runtime="dpcpp",
-                                  threads_per_unit=config.threads_per_unit),
-                    cost_model_for(node.device),
+                    threads_per_unit=config.threads_per_unit,
                     program_cache=self.program_cache)
                 engine = PushEngine(queue, job.ensemble, config.scenario,
                                     source, dt, fusion=config.fusion,

@@ -207,13 +207,10 @@ class DifferentialReport:
         return "\n".join(lines)
 
 
-def _make_queue(device_name: str):
-    from ..bench.calibration import cost_model_for, device_by_name
-    from ..oneapi.queue import Queue, RuntimeConfig
+def _make_queue(device_spec: str):
+    from ..backends.registry import queue_for
 
-    device = device_by_name(device_name)
-    return Queue(device, RuntimeConfig(runtime="dpcpp"),
-                 cost_model_for(device))
+    return queue_for(device_spec)
 
 
 def _drive(engine: str, ensemble: ParticleEnsemble, source, dt: float,
@@ -259,7 +256,8 @@ def run_differential(n: int = 192, steps: int = 3,
                                                         Precision.DOUBLE),
                      fusion_modes: Sequence[Optional[bool]] = (None, False,
                                                                True),
-                     tolerances: Optional[Dict[Precision, float]] = None
+                     tolerances: Optional[Dict[Precision, float]] = None,
+                     devices: Optional[Sequence[str]] = None
                      ) -> DifferentialReport:
     """Run the full differential sweep; returns the evidence.
 
@@ -268,6 +266,15 @@ def run_differential(n: int = 192, steps: int = 3,
     before deciding to fail.  Hazards, by contrast, are defects of the
     *submission code*, not of the physics, and do raise
     :class:`~repro.errors.HazardError` immediately.
+
+    ``devices`` widens the "single"-engine axis across a device matrix
+    (backend-qualified specs welcome: ``("iris-xe-max", "cuda:gpu0")``)
+    — each listed device runs the full layout x precision x fusion
+    grid as its own combination, and its digests join the same
+    bit-exact groups.  This is the cross-*backend* half of the paper's
+    claim: a CUDA stream must produce the same bits as a oneAPI queue,
+    not just the same speed story.  ``None`` keeps the classic
+    single-device sweep on ``device``.
     """
     from ..bench.scenarios import paper_ensemble, paper_time_step, paper_wave
     from ..core.stepping import state_digest
@@ -281,23 +288,33 @@ def run_differential(n: int = 192, steps: int = 3,
     report = DifferentialReport(
         n_particles=n, steps=steps,
         tolerances={p.value: t for p, t in tols.items()})
+    # Expand the engine axis: the "single" engine fans out across the
+    # device matrix when one is given; labels carry the device so a
+    # digest mismatch names the culprit backend.
+    cells: List[Tuple[str, str, str]] = []
+    for engine in engines:
+        if engine == "single" and devices is not None:
+            cells.extend(("single", f"single[{spec}]", spec)
+                         for spec in devices)
+        else:
+            cells.append((engine, engine, device))
     digests: Dict[Tuple[str, str], Dict[str, List[str]]] = {}
     for precision in precisions:
         for layout in layouts:
             reference = paper_ensemble(n, layout, precision)
             reference_push(reference, source, dt, steps)
-            for engine in engines:
+            for engine, engine_label, run_device in cells:
                 for fusion in fusion_modes:
                     ensemble = paper_ensemble(n, layout, precision)
                     queues = _drive(engine, ensemble, source, dt, steps,
-                                    fusion, device, group_spec)
+                                    fusion, run_device, group_spec)
                     checked = sum(assert_hazard_free(q) for q in queues)
                     max_ulp, worst, _ = compare_ensembles(ensemble,
                                                           reference)
                     digest = state_digest(ensemble)
                     passed = max_ulp <= tols[precision]
                     result = ComboResult(
-                        engine=engine, layout=layout.value,
+                        engine=engine_label, layout=layout.value,
                         precision=precision.value,
                         fusion=_FUSION_LABELS[fusion],
                         max_ulp=max_ulp, worst_component=worst,

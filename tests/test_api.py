@@ -145,7 +145,9 @@ class TestErrorSurfacing:
             run_push(_config())
 
 
-class TestDeprecationShims:
+class TestRunnerShimsRemoved:
+    """The PR-4 ``*PushRunner`` deprecation shims are gone for good."""
+
     def _queue(self):
         from repro.bench.calibration import cost_model_for, device_by_name
         from repro.oneapi.queue import Queue, RuntimeConfig
@@ -153,38 +155,15 @@ class TestDeprecationShims:
         return Queue(device, RuntimeConfig(runtime="dpcpp"),
                      cost_model_for(device))
 
-    def test_push_runner_warns_and_works(self):
-        from repro.oneapi.runtime import PushEngine, PushRunner
-        ensemble = paper_ensemble(N, Layout.SOA, Precision.SINGLE)
-        with pytest.warns(DeprecationWarning, match="PushRunner"):
-            runner = PushRunner(self._queue(), ensemble, "precalculated",
-                                paper_wave(), paper_time_step())
-        assert isinstance(runner, PushEngine)
-        assert runner.run(2)
-
-    def test_resilient_push_runner_warns_and_works(self):
-        from repro.resilience import (ResilientPushEngine,
-                                      ResilientPushRunner)
-        ensemble = paper_ensemble(N, Layout.SOA, Precision.SINGLE)
-        with pytest.warns(DeprecationWarning,
-                          match="ResilientPushRunner"):
-            runner = ResilientPushRunner(ensemble, "precalculated",
-                                         paper_wave(), paper_time_step())
-        assert isinstance(runner, ResilientPushEngine)
-        records, report = runner.run(2)
-        assert report.completed
-
-    def test_sharded_push_runner_warns_and_works(self):
-        from repro.distributed import (DeviceGroup, ShardedPushEngine,
-                                       ShardedPushRunner)
-        ensemble = paper_ensemble(N, Layout.SOA, Precision.SINGLE)
-        group = DeviceGroup.from_spec("2x iris-xe-max")
-        with pytest.warns(DeprecationWarning,
-                          match="ShardedPushRunner"):
-            runner = ShardedPushRunner(group, ensemble, "precalculated",
-                                       paper_wave(), paper_time_step())
-        assert isinstance(runner, ShardedPushEngine)
-        assert runner.run(2).steps == 2
+    def test_shim_names_are_gone(self):
+        import repro.distributed as distributed
+        import repro.oneapi.runtime as runtime
+        import repro.resilience as resilience
+        for module, name in ((runtime, "PushRunner"),
+                             (resilience, "ResilientPushRunner"),
+                             (distributed, "ShardedPushRunner")):
+            assert not hasattr(module, name)
+            assert name not in module.__all__
 
     def test_engine_names_do_not_warn(self):
         from repro.oneapi.runtime import PushEngine

@@ -19,12 +19,12 @@ from repro.bench.scenarios import paper_ensemble
 from repro.bench.trajectory import (append_snapshot, latest_snapshot,
                                     load_trajectory, trajectory_path)
 from repro.distributed import (DeviceGroup, ExchangePolicy, NspsRebalancer,
-                               ShardedPushRunner)
+                               ShardedPushEngine)
 from repro.errors import (ConfigurationError, DeviceLostError,
                           ExchangeTimeoutError)
 from repro.fp import Precision
 from repro.observability import Tracer, tracing
-from repro.oneapi.runtime import PushRunner
+from repro.oneapi.runtime import PushEngine
 from repro.particles import Layout
 from repro.particles.ensemble import COMPONENTS
 from repro.resilience import (Checkpointer, FaultPlan, FaultRule,
@@ -39,7 +39,7 @@ def _ensemble(n=N):
 
 
 def _runner(spec, n=N, **kwargs):
-    return ShardedPushRunner(DeviceGroup.from_spec(spec), _ensemble(n),
+    return ShardedPushEngine(DeviceGroup.from_spec(spec), _ensemble(n),
                              "precalculated", paper_wave(),
                              paper_time_step(), **kwargs)
 
@@ -54,7 +54,7 @@ def _assert_same_state(a, b):
 def test_sharded_run_matches_single_device_bits():
     reference = _ensemble()
     queue = DeviceGroup.from_spec("iris-xe-max").members[0].queue
-    PushRunner(queue, reference, "precalculated", paper_wave(),
+    PushEngine(queue, reference, "precalculated", paper_wave(),
                paper_time_step()).run(STEPS)
 
     for spec in ("iris-xe-max", "2x iris-xe-max", "cpu, p630, iris-xe-max"):

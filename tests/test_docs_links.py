@@ -35,7 +35,7 @@ def test_doc_files_exist():
     assert REPO_ROOT / "README.md" in DOC_FILES
     names = {p.name for p in DOC_FILES}
     assert {"ARCHITECTURE.md", "PROFILING.md", "TUNING.md",
-            "BENCHMARKS.md"} <= names
+            "BENCHMARKS.md", "BACKENDS.md"} <= names
 
 
 @pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)

@@ -1,4 +1,4 @@
-"""Tests for spec builders and the PushRunner physics/timing bridge."""
+"""Tests for spec builders and the PushEngine physics/timing bridge."""
 
 import numpy as np
 import pytest
@@ -9,7 +9,7 @@ from repro.fields import MDipoleWave
 from repro.fp import Precision
 from repro.oneapi import (Queue, RuntimeConfig, UsmMemoryManager,
                           build_push_spec, build_virtual_push_spec,
-                          PushRunner, PUSH_FLOPS)
+                          PushEngine, PUSH_FLOPS)
 from repro.oneapi.kernelspec import StreamKind
 from repro.particles import Layout
 from repro.particles.initializers import paper_benchmark_ensemble
@@ -97,7 +97,7 @@ class TestBoundSpecs:
                             precalc=wrong)
 
 
-class TestPushRunner:
+class TestPushEngine:
     def _queue(self):
         return Queue(make_device(), RuntimeConfig())
 
@@ -108,7 +108,7 @@ class TestPushRunner:
         runner_ensemble = paper_benchmark_ensemble(64, seed=5)
         reference = runner_ensemble.copy()
 
-        runner = PushRunner(self._queue(), runner_ensemble, scenario,
+        runner = PushEngine(self._queue(), runner_ensemble, scenario,
                             wave, period_fraction)
         runner.run(5)
         advance(reference, wave, period_fraction, 5)
@@ -119,7 +119,7 @@ class TestPushRunner:
     def test_records_one_launch_per_step(self):
         wave = MDipoleWave()
         ensemble = paper_benchmark_ensemble(32)
-        runner = PushRunner(self._queue(), ensemble, "analytical", wave,
+        runner = PushEngine(self._queue(), ensemble, "analytical", wave,
                             1e-16)
         records = runner.run(4)
         assert len(records) == 4
@@ -129,12 +129,12 @@ class TestPushRunner:
     def test_time_advances(self):
         wave = MDipoleWave()
         ensemble = paper_benchmark_ensemble(16)
-        runner = PushRunner(self._queue(), ensemble, "analytical", wave,
+        runner = PushEngine(self._queue(), ensemble, "analytical", wave,
                             2e-16)
         runner.run(3)
         assert runner.time == pytest.approx(6e-16)
 
     def test_rejects_unknown_scenario(self):
         with pytest.raises(ConfigurationError):
-            PushRunner(self._queue(), paper_benchmark_ensemble(8),
+            PushEngine(self._queue(), paper_benchmark_ensemble(8),
                        "magic", MDipoleWave(), 1e-16)

@@ -1,0 +1,173 @@
+"""Tests for the Pennycook PP score and its committed baseline.
+
+The drift smoke here is the same check CI's ``portability-smoke`` job
+runs: recompute the sweep at the committed baseline's parameters and
+fail if the PP score moved beyond the tolerance or the device set
+changed.  The simulated clock is deterministic, so "within tolerance"
+really means "recomputes exactly" unless a cost model changed.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.backends.portability import (DEFAULT_N_PARTICLES,
+                                        PORTABLE_CONFIG,
+                                        DeviceEfficiency,
+                                        PortabilityReport, check_drift,
+                                        load_baseline,
+                                        measure_portability, pp_score,
+                                        write_baseline)
+from repro.backends.registry import all_device_specs
+from repro.errors import ConfigurationError, ValidationError
+
+BASELINE = Path(__file__).resolve().parent.parent \
+    / "benchmarks" / "BENCH_portability.json"
+
+
+def _report(pp=0.9, devices=("cpu", "cuda:gpu0")):
+    rows = [DeviceEfficiency(device=d, backend=d.split(":")[0]
+                             if ":" in d else "oneapi",
+                             best_nsps=1.0, portable_nsps=1.1,
+                             efficiency=0.9) for d in devices]
+    return PortabilityReport(pp=pp, devices=rows)
+
+
+class TestPpScore:
+    def test_harmonic_mean(self):
+        assert pp_score([1.0, 1.0]) == 1.0
+        assert pp_score([0.5, 1.0]) == pytest.approx(2 / 3)
+        assert pp_score([0.25]) == 0.25
+
+    def test_empty_set_is_zero(self):
+        assert pp_score([]) == 0.0
+
+    def test_unsupported_platform_zeroes_the_metric(self):
+        assert pp_score([1.0, 0.0, 1.0]) == 0.0
+
+    def test_out_of_range_efficiency_raises(self):
+        with pytest.raises(ConfigurationError):
+            pp_score([1.2])
+        with pytest.raises(ConfigurationError):
+            pp_score([-0.1])
+
+
+class TestReportRoundTrip:
+    def test_json_round_trip(self):
+        report = _report()
+        clone = PortabilityReport.from_dict(
+            json.loads(json.dumps(report.as_dict())))
+        assert clone.pp == report.pp
+        assert [r.device for r in clone.devices] \
+            == [r.device for r in report.devices]
+        assert clone.portable_config == dict(PORTABLE_CONFIG)
+
+    def test_write_and_load_baseline(self, tmp_path):
+        path = write_baseline(_report(), tmp_path / "sub" / "b.json")
+        loaded = load_baseline(path)
+        assert loaded.pp == pytest.approx(0.9)
+        # pretty-printed with a trailing newline, diff-friendly
+        text = path.read_text()
+        assert text.endswith("\n") and "\n " in text
+
+    def test_corrupt_baseline_raises_typed(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValidationError, match="unreadable"):
+            load_baseline(bad)
+        with pytest.raises(ValidationError):
+            load_baseline(tmp_path / "missing.json")
+
+
+class TestDriftCheck:
+    def test_identical_reports_have_no_findings(self):
+        assert check_drift(_report(), _report()) == []
+
+    def test_small_drift_within_tolerance(self):
+        assert check_drift(_report(pp=0.905), _report(pp=0.9)) == []
+
+    def test_pp_drift_is_a_finding(self):
+        findings = check_drift(_report(pp=0.80), _report(pp=0.9))
+        assert any("drifted" in f for f in findings)
+
+    def test_device_set_change_is_a_finding(self):
+        findings = check_drift(_report(devices=("cpu",)),
+                               _report(devices=("cpu", "cuda:gpu0")))
+        assert any("in baseline but not in sweep" in f
+                   for f in findings)
+        findings = check_drift(_report(devices=("cpu", "cuda:gpu0")),
+                               _report(devices=("cpu",)))
+        assert any("in sweep but not in baseline" in f
+                   for f in findings)
+
+
+class TestCommittedBaseline:
+    def test_baseline_is_committed_and_sane(self):
+        report = load_baseline(BASELINE)
+        assert 0.0 < report.pp <= 1.0
+        assert [row.device for row in report.devices] \
+            == all_device_specs()
+        assert report.portable_config == dict(PORTABLE_CONFIG)
+        for row in report.devices:
+            assert 0.0 < row.efficiency <= 1.0
+            assert row.best_nsps > 0.0 and row.portable_nsps > 0.0
+
+    def test_sweep_matches_committed_baseline(self):
+        # the CI drift smoke, in-process: deterministic clock, so the
+        # recomputed sweep must land within PP_DRIFT_TOLERANCE
+        baseline = load_baseline(BASELINE)
+        current = measure_portability(
+            devices=[row.device for row in baseline.devices],
+            n_particles=baseline.n_particles, steps=baseline.steps,
+            warmup=baseline.warmup)
+        assert check_drift(current, baseline) == []
+
+
+class TestMeasurePortability:
+    def test_defaults_are_ci_sized(self):
+        assert DEFAULT_N_PARTICLES <= 50_000
+
+    def test_empty_device_list_raises(self):
+        with pytest.raises(ConfigurationError):
+            measure_portability(devices=[])
+
+    def test_rows_carry_tuning_evidence(self):
+        report = measure_portability(devices=["cuda:gpu1"],
+                                     n_particles=2_000, steps=3,
+                                     warmup=1)
+        assert len(report.devices) == 1
+        row = report.devices[0]
+        assert row.backend == "cuda"
+        assert row.predicted_nsps is not None
+        assert row.best_label
+
+
+class TestPortabilityCli:
+    def test_cli_check_against_committed_baseline(self, capsys):
+        from repro.cli import main
+        code = main(["portability", "--check-baseline", str(BASELINE)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PP score" in out and "within" in out
+
+    def test_cli_record_writes_baseline(self, tmp_path, capsys):
+        from repro.cli import main
+        code = main(["portability", "--portability-devices",
+                     "cpu,cuda:gpu1", "--portability-particles", "2000",
+                     "--steps", "3", "--record",
+                     "--record-dir", str(tmp_path)])
+        assert code == 0
+        written = load_baseline(tmp_path / "BENCH_portability.json")
+        assert [row.device for row in written.devices] \
+            == ["cpu", "cuda:gpu1"]
+
+    def test_cli_drift_exits_1(self, tmp_path, capsys):
+        from repro.cli import main
+        doctored = load_baseline(BASELINE)
+        doctored.pp *= 0.5
+        path = write_baseline(doctored, tmp_path / "drifted.json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["portability", "--check-baseline", str(path)])
+        assert excinfo.value.code == 1
+        assert "drift" in capsys.readouterr().out

@@ -26,7 +26,7 @@ from repro.fields.dipole import MDipoleWave
 from repro.fp import Precision
 from repro.particles.ensemble import COMPONENTS, Layout, make_ensemble
 from repro.resilience import (Checkpointer, FaultInjector, FaultPlan,
-                              FaultRule, ResilientPushRunner, RetryPolicy,
+                              FaultRule, ResilientPushEngine, RetryPolicy,
                               Watchdog, active_fault_injector,
                               chaos_self_check, fault_injection,
                               launch_with_retry, named_plan,
@@ -360,7 +360,7 @@ class TestDeviceFallback:
              devices=("iris-xe-max", "p630", "cpu")):
         ensemble = seeded_ensemble()
         source = MDipoleWave()
-        runner = ResilientPushRunner(ensemble, "analytical", source,
+        runner = ResilientPushEngine(ensemble, "analytical", source,
                                      1.0e-12, devices=devices,
                                      checkpointer=checkpointer)
         if plan_name is None:
@@ -401,7 +401,7 @@ class TestDeviceFallback:
         plan = FaultPlan(name="kill-all", rules=(
             FaultRule("device-loss", probability=1.0),))
         ensemble = seeded_ensemble()
-        runner = ResilientPushRunner(ensemble, "analytical",
+        runner = ResilientPushEngine(ensemble, "analytical",
                                      MDipoleWave(), 1.0e-12,
                                      devices=("p630", "cpu"))
         with fault_injection(plan, seed=0):

@@ -417,50 +417,43 @@ class TestTypedSpeciesLuts:
             assert ensemble.component(name).dtype == np.float32
 
 
-# -- deprecation shims (satellite) ----------------------------------------
+# -- engine kwargs (satellite) ---------------------------------------------
 
-class TestShimKwargForwarding:
-    def test_push_runner_forwards_fusion(self):
-        from repro.oneapi.runtime import PushRunner
+class TestEngineKwargForwarding:
+    def test_push_engine_takes_fusion(self):
+        from repro.oneapi.runtime import PushEngine
 
         ensemble = paper_ensemble(64, Layout.SOA, Precision.SINGLE)
-        with pytest.warns(DeprecationWarning, match="PushRunner"):
-            runner = PushRunner(_queue(), ensemble, "precalculated",
-                                paper_wave(), DT, fusion=True)
+        runner = PushEngine(_queue(), ensemble, "precalculated",
+                            paper_wave(), DT, fusion=True)
         assert runner.fusion is True
         assert runner.executor is not None
 
-    def test_resilient_runner_forwards_fusion(self):
-        from repro.resilience import ResilientPushRunner
+    def test_resilient_engine_takes_fusion(self):
+        from repro.resilience import ResilientPushEngine
 
         ensemble = paper_ensemble(64, Layout.SOA, Precision.SINGLE)
-        with pytest.warns(DeprecationWarning,
-                          match="ResilientPushRunner"):
-            runner = ResilientPushRunner(ensemble, "precalculated",
-                                         paper_wave(), DT, fusion=False)
+        runner = ResilientPushEngine(ensemble, "precalculated",
+                                     paper_wave(), DT, fusion=False)
         assert runner.fusion is False
 
-    def test_sharded_runner_forwards_fusion(self):
-        from repro.distributed import (DeviceGroup, ShardedPushRunner)
+    def test_sharded_engine_takes_fusion(self):
+        from repro.distributed import DeviceGroup, ShardedPushEngine
 
         ensemble = paper_ensemble(64, Layout.SOA, Precision.SINGLE)
-        with pytest.warns(DeprecationWarning, match="ShardedPushRunner"):
-            runner = ShardedPushRunner(
-                DeviceGroup.from_spec("2x iris-xe-max"), ensemble,
-                "precalculated", paper_wave(), DT, fusion=True)
+        runner = ShardedPushEngine(
+            DeviceGroup.from_spec("2x iris-xe-max"), ensemble,
+            "precalculated", paper_wave(), DT, fusion=True)
         assert runner.fusion is True
 
-    def test_warning_points_at_the_caller(self):
-        from repro.oneapi.runtime import PushRunner
+    def test_engines_do_not_warn(self):
+        from repro.oneapi.runtime import PushEngine
 
         ensemble = paper_ensemble(64, Layout.SOA, Precision.SINGLE)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            PushRunner(_queue(), ensemble, "precalculated",
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            PushEngine(_queue(), ensemble, "precalculated",
                        paper_wave(), DT)
-        shim = [w for w in caught
-                if issubclass(w.category, DeprecationWarning)]
-        assert shim and shim[0].filename == __file__
 
 
 # -- CLI exit codes (satellite) -------------------------------------------
