@@ -14,8 +14,9 @@ The tentpole claims, pinned as CI assertions:
   on the first step, and the fused chain compiles *fewer* programs, so
   the fused cold step is also cheaper than the unfused cold step;
 * **baseline** — the committed ``benchmarks/BENCH_fusion.json``
-  snapshot is replayed and NSPS must not drift >10% (regenerate with
-  ``python -m repro push --record`` when the cost model is deliberately
+  snapshot is replayed through the declared ``fusion`` regression
+  suite and NSPS must not drift >10% (regenerate with ``python -m
+  repro bench fusion --record`` when the cost model is deliberately
   recalibrated).
 
 Run:  pytest benchmarks/bench_fusion.py --benchmark-only -s
@@ -25,7 +26,6 @@ from pathlib import Path
 
 import pytest
 
-from repro.bench import latest_snapshot
 from repro.bench.harness import fusion_rows
 
 from conftest import once
@@ -68,22 +68,21 @@ def test_cold_run_shows_jit_penalty(reports):
             < reports["unfused"].cache_stats["jit_seconds_charged"])
 
 
-def test_fusion_nsps_matches_recorded_baseline(reports):
-    """CI smoke: replay the committed BENCH_fusion.json snapshot."""
-    snapshot = latest_snapshot("fusion", directory=Path(__file__).parent)
-    if snapshot is None:
-        pytest.skip("no recorded fusion baseline (run `repro push "
-                    "--record` first)")
-    by_config = {cell["config"]: cell for cell in snapshot["cells"]}
-    fresh = fusion_rows(n=snapshot["n_particles"], steps=STEPS,
-                        warmup=WARMUP)
-    for config in ("unfused", "fused"):
-        recorded = by_config[config]["nsps"]
-        # deterministic simulator: the tolerance only absorbs
-        # deliberate cost-model recalibrations
-        assert fresh[config].nsps == pytest.approx(recorded, rel=0.10), \
-            f"{config} NSPS drifted from the committed baseline"
-    # digests are compared fresh-vs-fresh (fusion_rows already did),
-    # not against the committed file: libm differences across hosts
-    # may legitimately perturb the m-dipole trig, but never the
-    # fused-vs-unfused agreement within one host
+def test_fusion_nsps_matches_recorded_baseline():
+    """CI smoke: replay the committed BENCH_fusion.json snapshot.
+
+    The tolerance comparison lives in :mod:`repro.regress` (the repo's
+    single drift code path); this test just drives the declared suite
+    against the committed baseline and surfaces its per-cell diff.
+    Digests are compared fresh-vs-fresh inside the suite's sanity
+    stage, not against the committed file: libm differences across
+    hosts may legitimately perturb the m-dipole trig, but never the
+    fused-vs-unfused agreement within one host.
+    """
+    from repro.regress import load_baseline, run_regression
+    directory = Path(__file__).parent
+    if load_baseline("fusion", directory) is None:
+        pytest.skip("no recorded fusion baseline (run `repro bench "
+                    "fusion --record` first)")
+    report = run_regression(directory=directory, suites=["fusion"])
+    assert report.passed, "\n" + report.render()

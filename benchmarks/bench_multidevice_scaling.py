@@ -28,7 +28,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.bench import latest_snapshot, paper_time_step, paper_wave
+from repro.bench import paper_time_step, paper_wave
 from repro.bench.scenarios import paper_ensemble
 from repro.distributed import (DeviceGroup, ProportionalSharding,
                                ShardedPushEngine)
@@ -140,19 +140,16 @@ def test_device_loss_redistribution_bit_exact(benchmark):
 
 
 def test_sharded_nsps_matches_recorded_baseline():
-    """CI smoke: replay the committed BENCH_shard.json configuration."""
-    snapshot = latest_snapshot("shard", directory=Path(__file__).parent)
-    if snapshot is None:
-        pytest.skip("no recorded shard baseline (run `repro shard "
-                    "--record` first)")
-    cell = snapshot["cells"][0]
-    assert cell["config"] == "sharded/even"
-    report = _steady_state_nsps(cell["device"],
-                                n=snapshot["n_particles"])
-    # The simulator is deterministic, so the tolerance only absorbs
-    # deliberate cost-model recalibrations — anything bigger must be
-    # re-recorded on purpose.
-    assert report.nsps == pytest.approx(cell["nsps"], rel=0.10), (
-        f"group NSPS drifted from the committed baseline "
-        f"({report.nsps:.4f} vs {cell['nsps']:.4f}); if intended, "
-        f"re-record with `python -m repro shard --record`")
+    """CI smoke: replay the committed BENCH_shard.json configuration.
+
+    The tolerance comparison lives in :mod:`repro.regress` (the repo's
+    single drift code path); this test just drives the declared suite
+    against the committed baseline and surfaces its per-cell diff.
+    """
+    from repro.regress import load_baseline, run_regression
+    directory = Path(__file__).parent
+    if load_baseline("shard", directory) is None:
+        pytest.skip("no recorded shard baseline (run `repro bench "
+                    "shard --record` first)")
+    report = run_regression(directory=directory, suites=["shard"])
+    assert report.passed, "\n" + report.render()

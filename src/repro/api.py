@@ -346,6 +346,44 @@ class RunReport:
                 list(self.calibration_warnings)
         return summary
 
+    def as_cell(self, suite: str, config: Optional[str] = None,
+                tolerance: Optional[float] = None) -> Dict[str, object]:
+        """Adapt this run into a regression test-case cell.
+
+        The declarative regression farm (:mod:`repro.regress`) stores
+        references as schema-v1 baseline cells — identity keys
+        (``suite/backend/device/config`` plus the layout/precision/
+        scenario axes), a named ``metrics`` mapping and a per-cell
+        tolerance.  This is the one adapter from a live
+        :class:`RunReport` to that shape; ``config`` defaults to the
+        execution-path label (``legacy``/``unfused``/``fused``).
+        """
+        from .regress.baseline import backend_of_device
+        fusion_label = {None: "legacy", True: "fused", False: "unfused"}
+        metrics: Dict[str, float] = {
+            "nsps": float(self.nsps),
+            "cold_nsps": float(self.first_step_nsps),
+        }
+        if self.fusion is not None:
+            metrics["fusion_groups"] = float(self.fusion_groups)
+            metrics["kernels_eliminated"] = float(self.kernels_eliminated)
+        if self.cache_stats:
+            metrics["jit_seconds"] = float(
+                self.cache_stats.get("jit_seconds_charged", 0.0))
+        cell: Dict[str, object] = {
+            "suite": suite,
+            "backend": backend_of_device(self.device),
+            "device": self.device,
+            "config": config or fusion_label[self.fusion],
+            "layout": self.layout, "precision": self.precision,
+            "scenario": self.scenario,
+            "metrics": metrics,
+            "extra": {"digest": self.digest},
+        }
+        if tolerance is not None:
+            cell["tolerance"] = tolerance
+        return cell
+
 
 def _make_ensemble(config: RunConfig):
     from .bench.scenarios import paper_ensemble

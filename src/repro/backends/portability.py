@@ -24,12 +24,15 @@ ratio is best-over-achieved), clamped to 1.0 — the portable config
 occasionally *ties* the tuned one and simulation determinism would
 otherwise produce e > 1 noise.
 
-The report is JSON-round-trippable; ``repro portability --record``
-writes it to ``benchmarks/BENCH_portability.json`` and CI's
-``portability-smoke`` job recomputes the score and fails on drift
-beyond :data:`PP_DRIFT_TOLERANCE` — a backend or cost-model change
-that shifts the portability story must update the committed baseline
-deliberately.
+The report is JSON-round-trippable; ``repro bench portability
+--record`` (or the legacy ``repro portability --record``) appends a
+schema-v1 snapshot to ``benchmarks/BENCH_portability.json`` and CI's
+``bench-regress`` job replays the declared ``portability`` regression
+suite, failing on drift beyond :data:`PP_DRIFT_TOLERANCE` — a backend
+or cost-model change that shifts the portability story must update the
+committed baseline deliberately.  The tolerance comparison routes
+through :func:`repro.regress.within_tolerance`, the repo's single
+drift code path.
 """
 
 from __future__ import annotations
@@ -194,24 +197,80 @@ def measure_portability(devices: Optional[Sequence[str]] = None,
 
 
 # -- baseline persistence (benchmarks/BENCH_portability.json) -----------
+#
+# Since PR 9 the file is the regression farm's schema v1
+# (repro.regress.baseline); these helpers keep the PortabilityReport
+# view of it.  Reading still accepts the PR 8 flat dump.
+
+def _report_from_snapshot(snapshot) -> PortabilityReport:
+    """Rebuild a :class:`PortabilityReport` from a v1 snapshot."""
+    devices: List[DeviceEfficiency] = []
+    pp = 0.0
+    portable_config: Dict[str, object] = dict(PORTABLE_CONFIG)
+    for cell in snapshot.cells:
+        config = cell.keys.get("config")
+        if config == "efficiency":
+            devices.append(DeviceEfficiency(
+                device=cell.keys["device"],
+                backend=cell.keys.get("backend", "oneapi"),
+                best_nsps=float(cell.metrics.get("best_nsps", 0.0)),
+                portable_nsps=float(cell.metrics.get("portable_nsps",
+                                                     0.0)),
+                efficiency=float(cell.metrics.get("efficiency", 0.0)),
+                best_label=str(cell.extra.get("best_label", "")),
+                predicted_nsps=cell.metrics.get("predicted_nsps")))
+        elif config == "pp":
+            pp = float(cell.metrics.get("pp", 0.0))
+            portable_config = dict(cell.extra.get("portable_config",
+                                                  PORTABLE_CONFIG))
+    return PortabilityReport(
+        pp=pp, devices=devices,
+        n_particles=snapshot.n_particles,
+        steps=int(snapshot.params.get("steps", DEFAULT_STEPS)),
+        warmup=int(snapshot.params.get("warmup", DEFAULT_WARMUP)),
+        portable_config=portable_config)
+
 
 def write_baseline(report: PortabilityReport, path) -> Path:
-    """Write the committed baseline file (pretty, trailing newline)."""
+    """Write the committed baseline file — schema v1, pretty-printed.
+
+    The report becomes one v1 snapshot (per-device efficiency cells
+    plus the ``pp`` summary cell the regression farm compares).
+    """
+    from ..bench.trajectory import git_sha
+    from ..regress.baseline import migrate_document
+    import datetime
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
+    baseline = migrate_document("portability", report.as_dict())
+    snapshot = baseline.latest
+    snapshot.git_sha = git_sha()
+    snapshot.date = datetime.date.today().isoformat()
     with open(target, "w", encoding="utf-8") as handle:
-        json.dump(report.as_dict(), handle, indent=1)
+        json.dump(baseline.as_dict(), handle, indent=1)
         handle.write("\n")
     return target
 
 
 def load_baseline(path) -> PortabilityReport:
-    """Load a committed baseline; malformed files raise
-    :class:`~repro.errors.ValidationError` (the drift check must not
-    silently pass on a corrupt baseline)."""
+    """Load a committed baseline (v1 or the PR 8 flat shape).
+
+    Malformed files raise :class:`~repro.errors.ValidationError` (the
+    drift check must not silently pass on a corrupt baseline).
+    """
+    from ..regress.baseline import migrate_document
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            return PortabilityReport.from_dict(json.load(handle))
+            document = json.load(handle)
+        if isinstance(document, dict) and "pp" in document \
+                and "devices" in document:
+            return PortabilityReport.from_dict(document)
+        baseline = migrate_document("portability", document)
+        if baseline.latest is None:
+            raise ValidationError("baseline has no snapshots")
+        return _report_from_snapshot(baseline.latest)
+    except ValidationError:
+        raise
     except (OSError, ValueError, KeyError, TypeError) as exc:
         raise ValidationError(
             f"unreadable portability baseline {path}: "
@@ -223,9 +282,12 @@ def check_drift(current: PortabilityReport, baseline: PortabilityReport,
     """Compare a fresh sweep against the committed baseline.
 
     Returns human-readable drift findings (empty = within tolerance).
-    Checks the PP score relatively and the device set exactly — a
-    device appearing or vanishing is always a finding.
+    Checks the PP score relatively — through the repo's single
+    tolerance predicate, :func:`repro.regress.within_tolerance` — and
+    the device set exactly (a device appearing or vanishing is always
+    a finding).
     """
+    from ..regress.base import within_tolerance
     findings: List[str] = []
     current_devices = {row.device for row in current.devices}
     baseline_devices = {row.device for row in baseline.devices}
@@ -234,8 +296,8 @@ def check_drift(current: PortabilityReport, baseline: PortabilityReport,
     for added in sorted(current_devices - baseline_devices):
         findings.append(f"device {added!r} in sweep but not in baseline")
     if baseline.pp > 0.0:
-        drift = abs(current.pp - baseline.pp) / baseline.pp
-        if drift > tolerance:
+        if not within_tolerance(current.pp, baseline.pp, tolerance):
+            drift = abs(current.pp - baseline.pp) / baseline.pp
             findings.append(
                 f"PP score drifted {drift:.1%} (baseline {baseline.pp:.4f}"
                 f", current {current.pp:.4f}, tolerance {tolerance:.0%})")

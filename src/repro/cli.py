@@ -2,15 +2,22 @@
 
 Usage::
 
-    python -m repro table2            # Table 2 (CPU NSPS, model vs paper)
-    python -m repro table3            # Table 3 (GPU NSPS, model vs paper)
-    python -m repro fig1              # Fig. 1 (scaling speedup series)
-    python -m repro first-iter        # in-text first-iteration effect
-    python -m repro threads           # in-text hyperthreading effect
-    python -m repro measure           # real numpy kernel NSPS on this host
+    python -m repro bench --list      # the declared regression suites
+    python -m repro bench table2      # one suite's artefact (model vs paper)
+    python -m repro bench --regress --filter smoke   # drift-check matrix
+    python -m repro bench fusion --record            # append a v1 snapshot
     python -m repro devices           # device inventory, every backend
     python -m repro portability       # Pennycook PP score sweep
     python -m repro trace table2 --out t.json   # traced run -> Chrome JSON
+
+``repro bench`` is the one entry point over every benchmark artefact
+and every committed baseline (see docs/BENCHMARKS.md): each suite is a
+declarative :class:`repro.regress.RegressionTest`, ``--regress`` runs
+the sanity + performance stages of the selected matrix and exits 1
+with a per-cell diff on drift, ``--record`` appends a schema-v1
+snapshot to ``benchmarks/BENCH_<suite>.json``.  The pre-PR9 artefact
+subcommands (``table2 table3 fig1 first-iter threads measure``) remain
+as deprecation shims with identical output and exit codes.
 
 Device flags accept backend-qualified specs (``cuda:gpu0``) anywhere a
 bare key (``cpu``, ``iris-xe-max``) works; ``repro devices --backend
@@ -68,19 +75,10 @@ from typing import List, Optional
 
 from .bench import (
     DEVICE_NAMES,
-    PAPER_TABLE2,
-    PAPER_TABLE3,
-    comparison_table,
     device_by_name,
-    fig1_series,
-    first_iteration_ratio,
     format_table,
-    measure_real_nsps,
     paper_time_step,
     paper_wave,
-    table2_rows,
-    table3_rows,
-    thread_sweep,
 )
 from .bench.scenarios import paper_ensemble
 from .fp import Precision
@@ -88,10 +86,25 @@ from .particles.ensemble import Layout
 
 __all__ = ["main"]
 
+#: The paper's ensemble size — the default of the legacy artefact
+#: shims (``repro bench`` instead replays each suite's committed
+#: baseline configuration when ``--particles`` is omitted).
+DEFAULT_PARTICLES = 10_000_000
 
-def _record_cells(args: argparse.Namespace, scenario: str,
-                  cells) -> None:
-    """Append a trajectory snapshot when ``--record`` was given.
+
+def _particles(args: argparse.Namespace) -> int:
+    """The global ``--particles`` with the paper's default applied."""
+    return args.particles if args.particles is not None \
+        else DEFAULT_PARTICLES
+
+
+def _baseline_dir(args: argparse.Namespace):
+    return getattr(args, "record_dir", None)
+
+
+def _record_cells(args: argparse.Namespace, suite: str, cells,
+                  n_particles: int, params=None) -> None:
+    """Append a schema-v1 baseline snapshot when ``--record`` was given.
 
     The normalized ``--layout/--precision/--device`` flags act as cell
     filters here: the printed model-vs-paper table always shows every
@@ -104,78 +117,89 @@ def _record_cells(args: argparse.Namespace, scenario: str,
         want = getattr(args, key, None)
         if want is not None:
             cells = [c for c in cells if c.get(key) == want]
-    from .bench.trajectory import append_snapshot
-    path = append_snapshot(scenario, cells, args.particles,
-                           directory=getattr(args, "record_dir", None))
+    from .regress import append_snapshot
+    path = append_snapshot(suite, cells, n_particles,
+                           directory=_baseline_dir(args), params=params)
     print(f"recorded snapshot -> {path}")
 
 
-def _cmd_table2(args: argparse.Namespace) -> None:
-    rows = table2_rows(n=args.particles)
-    print(comparison_table(rows, PAPER_TABLE2, "layout/impl",
-                           "Table 2 — CPU NSPS, 6 implementations"))
-    from .bench.trajectory import flatten_table2
-    _record_cells(args, "table2", flatten_table2(rows))
+def _run_bench_suite(suite_name: str, args: argparse.Namespace,
+                     n=None) -> None:
+    """Display one declared suite: run, render, optionally record."""
+    from .errors import ConfigurationError
+    from .regress import get_suite
+    test = get_suite(suite_name, directory=_baseline_dir(args))
+    kwargs = {}
+    if suite_name == "measure":
+        kwargs["steps"] = getattr(args, "measure_steps", 5)
+        n = getattr(args, "measure_particles", 200_000)
+    if getattr(args, "record", False) and not test.has_baseline:
+        raise ConfigurationError(
+            f"suite {suite_name!r} records no baseline (sanity-only or "
+            f"host-dependent); drop --record")
+    artifact = test.run(n=n, **kwargs)
+    print(test.render(artifact))
+    if test.has_baseline:
+        _record_cells(args, suite_name, test.cells(artifact),
+                      artifact.n_particles, artifact.params)
 
 
-def _cmd_table3(args: argparse.Namespace) -> None:
-    rows = table3_rows(n=args.particles)
-    print(comparison_table(rows, PAPER_TABLE3, "layout",
-                           "Table 3 — GPU NSPS (single precision)"))
-    from .bench.trajectory import flatten_table3
-    _record_cells(args, "table3", flatten_table3(rows))
+def _cmd_bench(args: argparse.Namespace) -> None:
+    from .errors import ConfigurationError
+    from .regress import parse_filter, render_listing, run_regression
+    directory = _baseline_dir(args)
+    test_filter = parse_filter(getattr(args, "filter", None))
+    suites = list(args.bench_suites) or None
+    if getattr(args, "record", False) and args.regress:
+        raise ConfigurationError(
+            "--record and --regress are exclusive: a regression run "
+            "must compare against the committed reference, not move it")
+    if args.list_suites:
+        print(render_listing(test_filter, directory=directory))
+        return
+    if args.regress:
+        report = run_regression(test_filter, directory=directory,
+                                suites=suites, n=args.particles,
+                                progress=print)
+        print(report.render())
+        if not report.passed:
+            raise SystemExit(1)
+        return
+    if not suites:
+        raise ConfigurationError(
+            "repro bench: name a suite, or pass --list / --regress "
+            "(try 'repro bench --list')")
+    for name in suites:
+        _run_bench_suite(name, args, n=args.particles)
 
 
-def _cmd_fig1(args: argparse.Namespace) -> None:
-    series = fig1_series(n=args.particles)
-    headers = ["cores"] + list(series)
-    core_counts = [c for c, _ in next(iter(series.values()))]
-    rows = []
-    for i, cores in enumerate(core_counts):
-        rows.append([cores] + [f"{points[i][1]:.1f}"
-                               for points in series.values()])
-    print(format_table(headers, rows,
-                       "Fig. 1 — speedup vs single core "
-                       "(precalculated fields, float)"))
-    last = {name: points[-1][1] for name, points in series.items()}
-    for name, speedup in last.items():
-        print(f"{name}: {speedup:.1f}x at 48 cores "
-              f"({100 * speedup / 48:.0f}% efficiency; paper reports ~63%)")
+def _deprecated_bench(suite_name: str, n_of=None):
+    """A legacy artefact subcommand, now a shim over ``repro bench``.
+
+    The shim warns only when invoked directly (``repro table2``), not
+    when routed through ``repro trace table2`` — tracing a deprecated
+    spelling the user never typed would be noise.  Output and exit
+    codes are unchanged: the suite renders the same artefact the old
+    handler printed.
+    """
+    def handler(args: argparse.Namespace) -> None:
+        if args.command == suite_name:
+            import warnings
+            message = (f"'repro {suite_name}' is deprecated; use "
+                       f"'repro bench {suite_name}'")
+            warnings.warn(message, DeprecationWarning, stacklevel=2)
+            print(f"note: {message}", file=sys.stderr)
+        _run_bench_suite(suite_name, args,
+                         n=None if n_of is None else n_of(args))
+    return handler
 
 
-def _cmd_first_iter(args: argparse.Namespace) -> None:
-    ratio = first_iteration_ratio(n=args.particles)
-    print(f"first iteration / steady iteration = {ratio:.2f} "
-          f"(paper: ~1.5)")
-
-
-def _cmd_threads(args: argparse.Namespace) -> None:
-    result = thread_sweep(n=args.particles)
-    print(format_table(
-        ["threads", "NSPS"],
-        [[t, f"{v:.3f}"] for t, v in sorted(result.items())],
-        "Hyperthreading sweep — OpenMP, precalculated, float"))
-    best = min(result, key=result.get)
-    print(f"best: {best} threads (paper: 96 threads is empirically best)")
-
-
-def _cmd_measure(args: argparse.Namespace) -> None:
-    wave = paper_wave()
-    dt = paper_time_step()
-    rows = []
-    for layout in (Layout.AOS, Layout.SOA):
-        for precision in (Precision.SINGLE, Precision.DOUBLE):
-            for scenario in ("precalculated", "analytical"):
-                ensemble = paper_ensemble(args.measure_particles,
-                                          layout, precision)
-                result = measure_real_nsps(ensemble, scenario, wave, dt,
-                                           steps=args.measure_steps)
-                rows.append([layout.value, precision.value, scenario,
-                             f"{result.nsps:.2f}"])
-    print(format_table(
-        ["layout", "precision", "scenario", "NSPS"], rows,
-        f"Measured numpy-kernel NSPS on this host "
-        f"({args.measure_particles} particles)"))
+_cmd_table2 = _deprecated_bench("table2", _particles)
+_cmd_table3 = _deprecated_bench("table3", _particles)
+_cmd_fig1 = _deprecated_bench("fig1", _particles)
+_cmd_first_iter = _deprecated_bench("first-iter", _particles)
+_cmd_threads = _deprecated_bench("threads", _particles)
+_cmd_measure = _deprecated_bench("measure")
 
 
 def _cmd_escape(args: argparse.Namespace) -> None:
@@ -226,7 +250,7 @@ def _cmd_roofline(args: argparse.Namespace) -> None:
 
 def _cmd_validate(args: argparse.Namespace) -> None:
     from .bench.validation import validate_against_paper
-    report = validate_against_paper(n=args.particles)
+    report = validate_against_paper(n=_particles(args))
     print(report.render())
     failed = not report.all_passed
     if not getattr(args, "no_differential", False):
@@ -362,11 +386,20 @@ def _cmd_shard(args: argparse.Namespace) -> None:
           f"rebalances {report.rebalances}, "
           f"redistributions {report.redistributions}")
     if getattr(args, "record", False):
-        from .bench.trajectory import append_snapshot, flatten_group_report
-        cells = flatten_group_report(report, group_spec, layout.value,
-                                     precision.value, "precalculated")
-        path = append_snapshot("shard", cells, args.shard_particles,
-                               directory=getattr(args, "record_dir", None))
+        from .regress import append_snapshot, get_suite
+        suite = get_suite("shard", directory=_baseline_dir(args))
+        cell = suite.make_cell(
+            f"sharded/{report.strategy}", group_spec,
+            {"nsps": float(report.nsps),
+             "n_devices": float(report.n_devices),
+             "imbalance": float(report.imbalance),
+             "exchange_bytes": float(report.exchange.total_bytes)},
+            layout=layout.value, precision=precision.value,
+            scenario="precalculated")
+        path = append_snapshot("shard", [cell], args.shard_particles,
+                               directory=_baseline_dir(args),
+                               params={"steps": args.steps,
+                                       "warmup": warmup})
         print(f"recorded snapshot -> {path}")
 
 
@@ -423,7 +456,7 @@ def _cmd_push(args: argparse.Namespace) -> None:
         # unfused, cold vs warm) — the same convention as table2
         # --record, which records all 24 cells, not one.
         from .bench.harness import fusion_rows
-        from .bench.trajectory import append_snapshot, flatten_fusion
+        from .regress import append_snapshot
         reports = fusion_rows(n=args.push_particles, steps=args.steps,
                               warmup=args.warmup,
                               device=args.device or "iris-xe-max")
@@ -435,9 +468,12 @@ def _cmd_push(args: argparse.Namespace) -> None:
              "digest"],
             rows, "Kernel-graph fusion — fused vs unfused "
                   "(identical digests = bit-exact)"))
-        path = append_snapshot("fusion", flatten_fusion(reports),
-                               args.push_particles,
-                               directory=getattr(args, "record_dir", None))
+        cells = [r.as_cell("fusion", config=name)
+                 for name, r in reports.items()]
+        path = append_snapshot("fusion", cells, args.push_particles,
+                               directory=_baseline_dir(args),
+                               params={"steps": args.steps,
+                                       "warmup": args.warmup})
         print(f"recorded snapshot -> {path}")
         return
 
@@ -642,11 +678,11 @@ def _runner_parent() -> argparse.ArgumentParser:
                         help="particle storage layout (command-specific "
                              "default)")
     parent.add_argument("--record", action="store_true",
-                        help="append this run's NSPS cells to the "
-                             "command's benchmarks/BENCH_*.json "
-                             "trajectory file")
+                        help="append this run's cells as a schema-v1 "
+                             "snapshot of the suite's "
+                             "benchmarks/BENCH_*.json baseline file")
     parent.add_argument("--record-dir", default=None, metavar="DIR",
-                        help="directory of the trajectory files "
+                        help="directory of the baseline files "
                              "(default: ./benchmarks)")
     return parent
 
@@ -657,24 +693,67 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Regenerate the tables and figures of the Boris-on-"
                     "DPC++ paper from the simulated oneAPI runtime.")
-    parser.add_argument("--particles", type=int, default=10_000_000,
+    parser.add_argument("--particles", type=int, default=None,
                         help="modelled particle count (default: the "
-                             "paper's 1e7)")
+                             "paper's 1e7 for the legacy artefact "
+                             "commands; 'repro bench' replays each "
+                             "suite's committed baseline configuration)")
     _add_trace_flag(parser, default=None)
     _add_fault_flags(parser, default=None)
     sub = parser.add_subparsers(dest="command", required=True)
     parent = _runner_parent()
+    bench = sub.add_parser(
+        "bench", parents=[parent],
+        help="the declarative regression farm: run, list, regress or "
+             "record any declared suite (see docs/BENCHMARKS.md)")
+    bench.add_argument("bench_suites", nargs="*", metavar="SUITE",
+                       help="declared suite name(s) — see "
+                            "'repro bench --list'; optional with "
+                            "--list/--regress (then the filter selects)")
+    bench.add_argument("--regress", action="store_true",
+                       help="run the sanity + performance stages of the "
+                            "selected matrix against the committed "
+                            "baselines; exit 1 with a per-cell diff on "
+                            "drift")
+    bench.add_argument("--list", action="store_true", dest="list_suites",
+                       help="list the declared suites, their tags, axes "
+                            "and baseline state")
+    bench.add_argument("--filter", action="append", default=None,
+                       metavar="EXPR",
+                       help="select suites: comma-separated terms, each "
+                            "a bare suite/tag name or "
+                            "suite=/device=/backend=/tag=NAME; repeat "
+                            "to AND (e.g. --filter smoke, --filter "
+                            "device=cpu,tag=paper)")
+    bench.add_argument("--measure-particles", type=int, default=200_000,
+                       help="ensemble size of the 'measure' suite "
+                            "(default 200000)")
+    bench.add_argument("--measure-steps", type=int, default=5,
+                       help="timed steps of the 'measure' suite "
+                            "(default 5)")
     commands = [
-        sub.add_parser("table2", help="Table 2: CPU NSPS",
+        bench,
+        sub.add_parser("table2",
+                       help="[deprecated: use 'bench table2'] "
+                            "Table 2: CPU NSPS",
                        parents=[parent]),
-        sub.add_parser("table3", help="Table 3: GPU NSPS",
+        sub.add_parser("table3",
+                       help="[deprecated: use 'bench table3'] "
+                            "Table 3: GPU NSPS",
                        parents=[parent]),
-        sub.add_parser("fig1", help="Fig. 1: strong-scaling speedup"),
-        sub.add_parser("first-iter", help="first-iteration slowdown"),
-        sub.add_parser("threads", help="hyperthreading sweep"),
+        sub.add_parser("fig1",
+                       help="[deprecated: use 'bench fig1'] "
+                            "Fig. 1: strong-scaling speedup"),
+        sub.add_parser("first-iter",
+                       help="[deprecated: use 'bench first-iter'] "
+                            "first-iteration slowdown"),
+        sub.add_parser("threads",
+                       help="[deprecated: use 'bench threads'] "
+                            "hyperthreading sweep"),
     ]
     measure = sub.add_parser("measure",
-                             help="time the real numpy kernels here")
+                             help="[deprecated: use 'bench measure'] "
+                                  "time the real numpy kernels here")
     measure.add_argument("--measure-particles", type=int, default=200_000)
     measure.add_argument("--measure-steps", type=int, default=5)
     escape = sub.add_parser("escape",
@@ -917,6 +996,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 _COMMANDS = {
+    "bench": _cmd_bench,
     "table2": _cmd_table2,
     "table3": _cmd_table3,
     "fig1": _cmd_fig1,

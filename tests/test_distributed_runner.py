@@ -226,6 +226,10 @@ def test_cli_devices_and_shard(capsys, tmp_path):
                  "--record-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "group NSPS" in out
-    recorded = latest_snapshot("shard", tmp_path)
-    assert recorded["cells"][0]["device"] == "2x p630"
-    assert recorded["cells"][0]["n_devices"] == 2
+    # shard --record emits the regression farm's schema v1
+    from repro.regress import load_baseline
+    recorded = load_baseline("shard", tmp_path).latest
+    cell = recorded.cells[0]
+    assert cell.keys["device"] == "2x p630"
+    assert cell.keys["backend"] == "oneapi"
+    assert cell.metrics["n_devices"] == 2

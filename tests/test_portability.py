@@ -1,9 +1,9 @@
 """Tests for the Pennycook PP score and its committed baseline.
 
-The drift smoke here is the same check CI's ``portability-smoke`` job
-runs: recompute the sweep at the committed baseline's parameters and
-fail if the PP score moved beyond the tolerance or the device set
-changed.  The simulated clock is deterministic, so "within tolerance"
+The drift smoke here is the same comparison CI's ``bench-regress``
+job runs through the declared ``portability`` suite: recompute the
+sweep at the committed baseline's parameters and fail if the PP score
+moved beyond the tolerance or the device set changed.  The simulated clock is deterministic, so "within tolerance"
 really means "recomputes exactly" unless a cost model changed.
 """
 
