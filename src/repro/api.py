@@ -50,7 +50,8 @@ from .errors import (AllocationFailedError, ConfigurationError, KernelError,
 from .fp import Precision
 from .particles.ensemble import Layout
 
-__all__ = ["RunConfig", "RunReport", "run_push"]
+__all__ = ["RunConfig", "RunReport", "run_push",
+           "PicConfig", "PicReport", "run_pic"]
 
 _LAYOUTS = {"aos": Layout.AOS, "soa": Layout.SOA}
 _PRECISIONS = {"float": Precision.SINGLE, "single": Precision.SINGLE,
@@ -601,6 +602,237 @@ def run_push(config: RunConfig, validate: bool = False) -> RunReport:
             report.trace_path = config.trace_path
         else:
             report = _execute(config, source, dt, validate)
+    except ReproError:
+        raise
+    except Exception as exc:   # the facade guarantee (see _map_error)
+        raise _map_error(exc) from exc
+    return report
+
+
+# -- the PIC facade --------------------------------------------------------
+
+
+@dataclass
+class PicConfig:
+    """Everything :func:`run_pic` needs, mirroring :class:`RunConfig`.
+
+    Attributes:
+        scenario: A registered PIC scenario name
+            (:data:`repro.pic.scenarios.SCENARIOS`): "laser-slab",
+            "magnetic-mirror" or "relativistic-beam".
+        layout: Particle storage layout (enum or "AoS"/"SoA").
+        precision: Particle storage precision (enum or
+            "float"/"double"); deposition always accumulates in
+            float64 (see :mod:`repro.pic.deposition`).
+        n_particles: Ensemble size; None takes the scenario default.
+        steps: Measured PIC steps (after ``warmup``).
+        warmup: Warm-up steps excluded from the steady NSPS.
+        seed: Scenario seed — fixes the particle draw *and* every
+            Monte Carlo operator, so two runs with equal
+            (scenario, n, seed, layout, precision) are bit-exact.
+        deposition: Override the scenario's deposition scheme
+            ("esirkepov", "direct", "none"); None keeps the default.
+        solver: Override the Maxwell solver ("fdtd", "spectral").
+        device: Device spec, as in :class:`RunConfig`.
+        fusion: True fuses the step's elementwise stages (gather,
+            push, Monte Carlo) into one launch per species; False runs
+            the graph unfused; None keeps the legacy per-stage path.
+        trace_path: Write a Chrome ``trace_event`` JSON here.
+        persist_cache / program_cache: As in :class:`RunConfig`.
+    """
+
+    scenario: str = "laser-slab"
+    layout: object = Layout.SOA
+    precision: object = Precision.DOUBLE
+    n_particles: Optional[int] = None
+    steps: int = 8
+    warmup: int = 2
+    seed: int = 0
+    deposition: Optional[str] = None
+    solver: Optional[str] = None
+    device: str = "iris-xe-max"
+    fusion: Optional[bool] = True
+    trace_path: Optional[str] = None
+    persist_cache: Optional[str] = None
+    program_cache: Optional[object] = None
+
+    def validate(self) -> "PicConfig":
+        """Normalise enums and reject inconsistent combinations."""
+        from .pic.scenarios import get_scenario
+        from .pic.simulation import DEPOSITIONS
+        self.layout = _coerce_layout(self.layout)
+        self.precision = _coerce_precision(self.precision)
+        get_scenario(self.scenario)       # typed error on unknown name
+        if self.n_particles is not None and self.n_particles < 1:
+            raise ConfigurationError(
+                f"n_particles must be >= 1, got {self.n_particles}")
+        if self.steps < 1:
+            raise ConfigurationError(f"steps must be >= 1, got {self.steps}")
+        if self.warmup < 0:
+            raise ConfigurationError(
+                f"warmup must be >= 0, got {self.warmup}")
+        if self.deposition is not None \
+                and self.deposition not in DEPOSITIONS:
+            raise ConfigurationError(
+                f"deposition must be one of {DEPOSITIONS}, "
+                f"got {self.deposition!r}")
+        if self.solver is not None \
+                and self.solver not in ("fdtd", "spectral"):
+            raise ConfigurationError(
+                f"solver must be 'fdtd' or 'spectral', got {self.solver!r}")
+        if self.program_cache is not None \
+                and self.persist_cache is not None:
+            raise ConfigurationError(
+                "program_cache and persist_cache are mutually "
+                "exclusive: a shared cache instance owns its own "
+                "persistence policy")
+        return self
+
+
+@dataclass
+class PicReport:
+    """What one :func:`run_pic` call produced.
+
+    ``digest`` is :func:`repro.pic.engine.pic_state_digest` over the
+    final particles *and* grid — fused, unfused and legacy runs of the
+    same config must agree bit-for-bit.  ``energy_drift`` is the
+    relative total-energy excursion over the measured steps (the
+    scenario's validation figure); ``nsps`` is steady-state simulated
+    nanoseconds per particle-step, as everywhere else in the repo.
+    """
+
+    scenario: str
+    layout: str
+    precision: str
+    device: str
+    n_particles: int
+    steps: int
+    nsps: float
+    first_step_nsps: float
+    simulated_seconds: float
+    digest: str
+    energy_drift: float
+    deposition: str
+    solver: str
+    fusion: Optional[bool] = None
+    fusion_groups: int = 0
+    kernels_eliminated: int = 0
+    cache_stats: Dict[str, float] = field(default_factory=dict)
+    trace_path: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready flat summary."""
+        return {
+            "scenario": self.scenario, "layout": self.layout,
+            "precision": self.precision, "device": self.device,
+            "n_particles": self.n_particles, "steps": self.steps,
+            "nsps": self.nsps, "first_step_nsps": self.first_step_nsps,
+            "simulated_seconds": self.simulated_seconds,
+            "digest": self.digest, "energy_drift": self.energy_drift,
+            "deposition": self.deposition, "solver": self.solver,
+            "fusion": self.fusion, "fusion_groups": self.fusion_groups,
+            "kernels_eliminated": self.kernels_eliminated,
+            "cache_stats": dict(self.cache_stats),
+        }
+
+    def as_cell(self, suite: str = "pic", config: Optional[str] = None,
+                tolerance: Optional[float] = None) -> Dict[str, object]:
+        """Adapt this run into a schema-v1 regression cell."""
+        from .regress.baseline import backend_of_device
+        fusion_label = {None: "legacy", True: "fused", False: "unfused"}
+        metrics: Dict[str, float] = {
+            "nsps": float(self.nsps),
+            "cold_nsps": float(self.first_step_nsps),
+        }
+        if self.fusion is not None:
+            metrics["fusion_groups"] = float(self.fusion_groups)
+            metrics["kernels_eliminated"] = float(self.kernels_eliminated)
+        cell: Dict[str, object] = {
+            "suite": suite,
+            "backend": backend_of_device(self.device),
+            "device": self.device,
+            "config": config or fusion_label[self.fusion],
+            "layout": self.layout, "precision": self.precision,
+            "scenario": self.scenario,
+            "metrics": metrics,
+            "extra": {"digest": self.digest,
+                      "energy_drift": self.energy_drift,
+                      "deposition": self.deposition,
+                      "solver": self.solver},
+        }
+        if tolerance is not None:
+            cell["tolerance"] = tolerance
+        return cell
+
+
+def _execute_pic(config: PicConfig, validate: bool) -> PicReport:
+    from .backends.registry import resolve_device
+    from .pic.diagnostics import EnergyHistory
+    from .pic.engine import PicEngine, pic_state_digest
+    from .pic.scenarios import build_scenario
+
+    simulation = build_scenario(
+        config.scenario, config.n_particles, seed=config.seed,
+        layout=config.layout, precision=config.precision,
+        deposition=config.deposition, solver=config.solver)
+    backend, device = resolve_device(config.device)
+    cache = _program_cache(config)
+    queue = backend.make_queue(device, program_cache=cache)
+    engine = PicEngine(queue, simulation, fusion=config.fusion,
+                       validate=validate and config.fusion is not None)
+    history = EnergyHistory()
+    history.record(simulation.time, simulation.grid,
+                   simulation.ensembles)
+    for _ in range(config.warmup + config.steps):
+        engine.step()
+        history.record(simulation.time, simulation.grid,
+                       simulation.ensembles)
+    if validate and config.fusion is None:
+        from .validation.hazard import assert_hazard_free
+        assert_hazard_free(queue.commands,
+                           in_order=queue.timeline.in_order)
+    groups, eliminated = _plan_stats(engine.executor)
+    n = simulation.ensembles[0].size
+    return PicReport(
+        scenario=config.scenario, layout=config.layout.value,
+        precision=config.precision.value, device=config.device,
+        n_particles=n, steps=config.steps,
+        nsps=_steady_nsps(engine.step_seconds, n, config.warmup),
+        first_step_nsps=engine.step_seconds[0] * 1.0e9 / n,
+        simulated_seconds=queue.timeline.makespan,
+        digest=pic_state_digest(simulation),
+        energy_drift=history.relative_drift(),
+        deposition=simulation.deposition,
+        solver=simulation.solver_kind,
+        fusion=config.fusion, fusion_groups=groups,
+        kernels_eliminated=eliminated,
+        cache_stats=cache.stats.as_dict())
+
+
+def run_pic(config: PicConfig, validate: bool = False) -> PicReport:
+    """Run a full self-consistent PIC scenario described by ``config``.
+
+    The scenario's four stages (gather, push, deposit, field advance)
+    plus its Monte Carlo operators execute through the kernel-graph
+    engine (:class:`~repro.pic.engine.PicEngine`) on the configured
+    device, and the report carries performance, digest and
+    energy-conservation evidence in one object.  ``validate=True``
+    additionally replays every launch through the hazard detector.
+    Every failure surfaces as a :class:`~repro.errors.ReproError`.
+    """
+    try:
+        config.validate()
+        if config.trace_path is not None:
+            from .observability import Tracer, tracing, write_chrome_trace
+            tracer = Tracer()
+            try:
+                with tracing(tracer):
+                    report = _execute_pic(config, validate)
+            finally:
+                write_chrome_trace(tracer, config.trace_path)
+            report.trace_path = config.trace_path
+        else:
+            report = _execute_pic(config, validate)
     except ReproError:
         raise
     except Exception as exc:   # the facade guarantee (see _map_error)

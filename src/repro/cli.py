@@ -157,11 +157,19 @@ def _cmd_bench(args: argparse.Namespace) -> None:
     if args.list_suites:
         print(render_listing(test_filter, directory=directory))
         return
+    if getattr(args, "json", False) and not args.regress:
+        raise ConfigurationError(
+            "--json reports a regression run; pair it with --regress")
     if args.regress:
+        emit_json = getattr(args, "json", False)
         report = run_regression(test_filter, directory=directory,
                                 suites=suites, n=args.particles,
-                                progress=print)
-        print(report.render())
+                                progress=None if emit_json else print)
+        if emit_json:
+            import json as json_module
+            print(json_module.dumps(report.as_dict(), indent=2))
+        else:
+            print(report.render())
         if not report.passed:
             raise SystemExit(1)
         return
@@ -264,6 +272,17 @@ def _cmd_validate(args: argparse.Namespace) -> None:
             steps=getattr(args, "diff_steps", 3))
         print(diff.render())
         failed = failed or not diff.all_passed
+    if not getattr(args, "no_pic", False):
+        # PIC half: every scenario x layout x execution mode of the
+        # lowered PIC step must agree with the reference simulation to
+        # the bit (see docs/PIC.md), with hazard-free engine replays.
+        from .validation import run_pic_differential
+        print()
+        pic = run_pic_differential(
+            n=getattr(args, "pic_diff_particles", 96),
+            steps=getattr(args, "pic_diff_steps", 2))
+        print(pic.render())
+        failed = failed or not pic.all_passed
     if failed:
         raise SystemExit(1)
 
@@ -540,6 +559,58 @@ def _cmd_push(args: argparse.Namespace) -> None:
         print(f"warning: {warning}")
 
 
+def _cmd_pic(args: argparse.Namespace) -> None:
+    from .api import PicConfig, run_pic
+
+    if getattr(args, "record", False):
+        # --record regenerates the suite's whole artefact (fused +
+        # unfused) through the regress record path, exactly like
+        # `repro bench pic --record`.
+        from .regress import get_suite, record_suite
+        suite = get_suite("pic", directory=_baseline_dir(args))
+        path, artifact = record_suite(suite, n=args.pic_particles)
+        print(suite.render(artifact))
+        print(f"recorded snapshot -> {path}")
+        return
+
+    config = PicConfig(
+        scenario=args.scenario,
+        layout=args.layout or Layout.SOA,
+        precision=args.precision or Precision.DOUBLE,
+        n_particles=args.pic_particles, steps=args.steps,
+        warmup=args.warmup, seed=args.seed,
+        deposition=args.deposition, solver=args.solver,
+        device=args.device or "iris-xe-max",
+        fusion=None if getattr(args, "legacy", False) else args.fusion)
+    report = run_pic(config, validate=getattr(args, "validate", False))
+    fusion_label = {None: "legacy", True: "fused", False: "unfused"}
+    rows = [
+        ["scenario", report.scenario],
+        ["device", report.device],
+        ["layout/precision", f"{report.layout}/{report.precision}"],
+        ["deposition/solver", f"{report.deposition}/{report.solver}"],
+        ["execution", fusion_label[report.fusion]],
+        ["steady NSPS", f"{report.nsps:.3f}"],
+        ["first-step NSPS (cold)", f"{report.first_step_nsps:.3f}"],
+        ["simulated seconds", f"{report.simulated_seconds:.6f}"],
+        ["energy drift", f"{report.energy_drift:.3e}"],
+        ["state digest (particles+grid)", report.digest[:16]],
+    ]
+    if report.fusion is not None:
+        rows.append(["fusion groups / kernels elided",
+                     f"{report.fusion_groups} / "
+                     f"{report.kernels_eliminated}"])
+    if report.cache_stats:
+        rows.append(["program cache",
+                     f"{report.cache_stats['hits']:.0f} hits, "
+                     f"{report.cache_stats['misses']:.0f} misses, "
+                     f"{report.cache_stats['jit_seconds_charged']:.2f} s "
+                     f"JIT"])
+    print(format_table(["field", "value"], rows,
+                       f"repro.api.run_pic — {report.n_particles} "
+                       f"particles x {report.steps} steps"))
+
+
 def _service_stream(name: str, event: str, detail: str) -> None:
     """The ``on_event`` hook: one line per job lifecycle event."""
     print(f"  [{name}] {event}" + (f" — {detail}" if detail else ""))
@@ -715,6 +786,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "selected matrix against the committed "
                             "baselines; exit 1 with a per-cell diff on "
                             "drift")
+    bench.add_argument("--json", action="store_true",
+                       help="with --regress: print the machine-readable "
+                            "per-cell report as JSON instead of the "
+                            "rendered diff (exit code unchanged)")
     bench.add_argument("--list", action="store_true", dest="list_suites",
                        help="list the declared suites, their tags, axes "
                             "and baseline state")
@@ -856,6 +931,47 @@ def build_parser() -> argparse.ArgumentParser:
                            "the hazard detector and diff a particle "
                            "sample against the scalar reference pusher "
                            "(see docs/VALIDATION.md)")
+    from .pic.scenarios import scenario_names
+    pic = sub.add_parser(
+        "pic", parents=[parent],
+        help="run a full self-consistent PIC scenario through the "
+             "kernel-graph engine (gather/push/Monte Carlo/deposit/"
+             "field-advance; see docs/PIC.md)")
+    pic.add_argument("--scenario", choices=scenario_names(),
+                     default="laser-slab",
+                     help="registered PIC scenario (default laser-slab)")
+    pic.add_argument("--pic-particles", type=int, default=None,
+                     help="ensemble size (default: the scenario's; "
+                          "physics-carrying, so keep it modest)")
+    pic.add_argument("--steps", type=int, default=8,
+                     help="measured PIC steps (default 8)")
+    pic.add_argument("--warmup", type=int, default=2,
+                     help="warm-up steps excluded from steady NSPS "
+                          "(default 2)")
+    pic.add_argument("--seed", type=int, default=0,
+                     help="scenario seed: fixes the particle draw and "
+                          "every Monte Carlo operator (default 0)")
+    pic.add_argument("--deposition",
+                     choices=["esirkepov", "direct", "none"],
+                     default=None,
+                     help="override the deposition scheme (default: "
+                          "the scenario's, Esirkepov)")
+    pic.add_argument("--solver", choices=["fdtd", "spectral"],
+                     default=None,
+                     help="override the Maxwell solver (default: the "
+                          "scenario's, FDTD)")
+    pic.add_argument("--fusion", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="kernel-graph execution: --fusion (default) "
+                          "fuses the elementwise stages, --no-fusion "
+                          "runs the graph unfused; --legacy for the "
+                          "per-stage path")
+    pic.add_argument("--legacy", action="store_true",
+                     help="legacy per-stage launches (no graph, no "
+                          "fusion planning)")
+    pic.add_argument("--validate", action="store_true",
+                     help="replay every launch through the hazard "
+                          "detector after the run")
     from .service.scheduler import DEFAULT_FLEET
     serve = sub.add_parser(
         "serve", parents=[parent],
@@ -932,6 +1048,17 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--no-differential", action="store_true",
                           help="paper-claim checks only, skip the "
                                "differential sweep")
+    validate.add_argument("--no-pic", action="store_true",
+                          help="skip the PIC differential sweep (every "
+                               "scenario x layout x mode must agree "
+                               "bit-exactly; see docs/PIC.md)")
+    validate.add_argument("--pic-diff-particles", type=int, default=96,
+                          metavar="N",
+                          help="particles per PIC sweep cell "
+                               "(default 96)")
+    validate.add_argument("--pic-diff-steps", type=int, default=2,
+                          metavar="STEPS",
+                          help="PIC steps per sweep cell (default 2)")
     devices = sub.add_parser(
         "devices",
         help="list simulated devices across every backend")
@@ -976,6 +1103,7 @@ def build_parser() -> argparse.ArgumentParser:
         faults,
         shard,
         push,
+        pic,
         serve,
         submit,
     ]
@@ -1011,6 +1139,7 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "shard": _cmd_shard,
     "push": _cmd_push,
+    "pic": _cmd_pic,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
 }

@@ -10,17 +10,39 @@ subpackage implements that loop end to end:
 * :mod:`~repro.pic.deposition` — charge and current deposition,
   including the charge-conserving Esirkepov scheme;
 * :mod:`~repro.pic.simulation` — the self-consistent loop;
+* :mod:`~repro.pic.montecarlo` — seeded collision / ionization
+  operators (counter-based RNG, bit-exact across engine modes);
+* :mod:`~repro.pic.engine` — the loop lowered onto the kernel-graph
+  IR (:class:`~repro.pic.engine.PicEngine`);
+* :mod:`~repro.pic.scenarios` — seeded, validated plasma scenarios;
 * :mod:`~repro.pic.diagnostics` — energy/momentum/charge accounting.
 """
 
 from .fdtd import FdtdSolver, max_stable_dt
 from .spectral import SpectralSolver
 from .deposition import (
+    ACCUMULATION_DTYPE,
+    charge_weight,
     deposit_charge,
     deposit_current_direct,
     deposit_current_esirkepov,
+    invalidate_charge_weight,
 )
 from .simulation import PicSimulation
+from .montecarlo import (
+    CollisionOperator,
+    IonizationOperator,
+    PicOperator,
+    step_generator,
+)
+from .engine import PicEngine, pic_state_digest
+from .scenarios import (
+    SCENARIOS,
+    PicScenario,
+    build_scenario,
+    get_scenario,
+    scenario_names,
+)
 from .diagnostics import (
     field_energy,
     kinetic_energy,
@@ -34,10 +56,24 @@ __all__ = [
     "FdtdSolver",
     "SpectralSolver",
     "max_stable_dt",
+    "ACCUMULATION_DTYPE",
+    "charge_weight",
+    "invalidate_charge_weight",
     "deposit_charge",
     "deposit_current_direct",
     "deposit_current_esirkepov",
     "PicSimulation",
+    "PicOperator",
+    "CollisionOperator",
+    "IonizationOperator",
+    "step_generator",
+    "PicEngine",
+    "pic_state_digest",
+    "PicScenario",
+    "SCENARIOS",
+    "build_scenario",
+    "get_scenario",
+    "scenario_names",
     "field_energy",
     "kinetic_energy",
     "total_momentum",

@@ -18,10 +18,23 @@ Both work at any of the implemented form-factor orders (NGP, CIC, TSC
 decomposition is shape-agnostic, only the stencil window widens.  All
 deposition is periodic and vectorized over particles (the stencil
 loops are fixed small iteration counts of ``np.add.at``).
+
+**Accumulation precision contract.**  Deposition always *accumulates*
+in float64 (:data:`ACCUMULATION_DTYPE`), whatever the ensemble's
+storage precision: the grid's current arrays are float64, and a
+single-precision scatter-add over many particles per cell loses the
+small per-particle contributions to cancellation — which would break
+the discrete continuity equation the Esirkepov scheme exists to
+satisfy.  A float32 ensemble therefore yields *bit-identical* grid
+currents across engine modes (the storage precision shows up in the
+particle state, where the differential sweep's per-precision ULP
+groups compare it), and :func:`charge_weight` deliberately upcasts
+once, not per call.
 """
 
 from __future__ import annotations
 
+import weakref
 from typing import Optional, Tuple
 
 import numpy as np
@@ -31,8 +44,50 @@ from ..fields.grid import YeeGrid
 from ..fields.interpolation import Shape, shape_weights
 from ..particles.ensemble import ParticleEnsemble
 
-__all__ = ["deposit_charge", "deposit_current_direct",
-           "deposit_current_esirkepov"]
+__all__ = ["ACCUMULATION_DTYPE", "charge_weight",
+           "invalidate_charge_weight", "deposit_charge",
+           "deposit_current_direct", "deposit_current_esirkepov"]
+
+#: The dtype every deposition accumulates in (see the module docstring).
+ACCUMULATION_DTYPE = np.dtype(np.float64)
+
+#: Per-ensemble cache of the float64 ``q * w`` array.  Keyed weakly so
+#: a discarded ensemble releases its entry.
+_CHARGE_WEIGHT_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def charge_weight(ensemble: ParticleEnsemble) -> np.ndarray:
+    """Cached float64 per-particle ``q * w`` [statC].
+
+    Every deposition needs the charge-times-weight array; recomputing
+    it per call costs an O(N) type-table gather plus an O(N) upcast of
+    the weight component on the hot path — the same per-call-cast bug
+    class PR 5 fixed in the Boris species LUTs.  The product is
+    constant for ordinary ensembles, so it is computed once per
+    ensemble and returned as a read-only array.
+
+    Callers that mutate ``weight`` or the type ids (the ionization
+    operator grows weights) must call
+    :func:`invalidate_charge_weight` afterwards; everything in this
+    repo that does so already does.
+    """
+    cached = _CHARGE_WEIGHT_CACHE.get(ensemble)
+    if cached is not None and cached.shape[0] == ensemble.size:
+        return cached
+    qw = (ensemble.charges()
+          * ensemble.component("weight").astype(ACCUMULATION_DTYPE))
+    qw.setflags(write=False)
+    _CHARGE_WEIGHT_CACHE[ensemble] = qw
+    return qw
+
+
+def invalidate_charge_weight(ensemble: Optional[ParticleEnsemble] = None
+                             ) -> None:
+    """Drop the cached ``q * w`` of ``ensemble`` (or of everyone)."""
+    if ensemble is None:
+        _CHARGE_WEIGHT_CACHE.clear()
+    else:
+        _CHARGE_WEIGHT_CACHE.pop(ensemble, None)
 
 
 def _fractions(positions: np.ndarray, origin, spacing) -> np.ndarray:
@@ -43,11 +98,20 @@ def _fractions(positions: np.ndarray, origin, spacing) -> np.ndarray:
     return (pos - org) / spc
 
 
+def _check_accumulator(target: np.ndarray) -> None:
+    """Enforce the module's float64 accumulation contract."""
+    if target.dtype != ACCUMULATION_DTYPE:
+        raise SimulationError(
+            f"deposition accumulates in {ACCUMULATION_DTYPE} by contract "
+            f"(see repro.pic.deposition); got a {target.dtype} target")
+
+
 def _deposit_scalar(target: np.ndarray, frac: np.ndarray,
                     values: np.ndarray, dims,
                     staggers: Tuple[float, float, float],
                     shape: Shape) -> None:
     """Scatter ``values`` onto ``target`` with the given form factor."""
+    _check_accumulator(target)
     stencils = []
     for axis in range(3):
         idx, wgt = shape_weights(shape, frac[:, axis] - staggers[axis])
@@ -71,8 +135,7 @@ def deposit_charge(grid: YeeGrid, ensemble: ParticleEnsemble,
     """
     pos = ensemble.positions() if positions is None else positions
     frac = _fractions(pos, grid.origin, grid.spacing)
-    charge = ensemble.charges() * ensemble.component("weight").astype(np.float64)
-    charge = charge / grid.cell_volume
+    charge = charge_weight(ensemble) / grid.cell_volume
     rho = np.zeros(grid.dims)
     _deposit_scalar(rho, frac, charge, grid.dims, (0.0, 0.0, 0.0), shape)
     return rho
@@ -89,8 +152,7 @@ def deposit_current_direct(grid: YeeGrid, ensemble: ParticleEnsemble,
     pos = ensemble.positions()
     vel = ensemble.velocities()
     frac = _fractions(pos, grid.origin, grid.spacing)
-    qw = ensemble.charges() * ensemble.component("weight").astype(np.float64)
-    qw = qw / grid.cell_volume
+    qw = charge_weight(ensemble) / grid.cell_volume
     staggers = {"jx": (0.5, 0.0, 0.0), "jy": (0.0, 0.5, 0.0),
                 "jz": (0.0, 0.0, 0.5)}
     for axis, name in enumerate(("jx", "jy", "jz")):
@@ -166,7 +228,7 @@ def deposit_current_esirkepov(grid: YeeGrid, ensemble: ParticleEnsemble,
 
     margin, width = _window_parameters(shape)
     dims = grid.dims
-    qw = ensemble.charges() * ensemble.component("weight").astype(np.float64)
+    qw = charge_weight(ensemble)
     if shape is Shape.CIC:
         base = [np.floor(f0[:, a]).astype(np.int64) for a in range(3)]
     else:
@@ -190,6 +252,8 @@ def deposit_current_esirkepov(grid: YeeGrid, ensemble: ParticleEnsemble,
     cell_volume = grid.cell_volume
     spacing = grid.spacing
     names = ("jx", "jy", "jz")
+    for name in names:
+        _check_accumulator(grid.currents[name])
     # Transverse axis order per component keeps the (l, m, n) index
     # meaning (a-axis, b-axis, c-axis).
     transverse = {0: (1, 2), 1: (0, 2), 2: (0, 1)}

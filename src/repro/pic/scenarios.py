@@ -1,0 +1,259 @@
+"""Seeded, validated PIC scenarios.
+
+Three canonical plasma set-ups exercising the full self-consistent
+loop, each reproducible bit-for-bit from its seed:
+
+* **laser-slab** — a travelling plane wave crossing a thin electron
+  slab, with field ionization feeding the macroparticle weights in the
+  wave crests (the laser–plasma interaction configuration the Hi-Chi
+  benchmarks target);
+* **magnetic-mirror** — a thermal electron population in a paraxial
+  magnetic-mirror field with elastic pitch-angle collisions; the
+  static B does no work and collisions preserve ``|p|``, so total
+  energy is conserved tightly — the scenario's validation handle;
+* **relativistic-beam** — a ``gamma ~ 10`` drifting electron beam with
+  a small thermal spread, stressing the relativistic push and the
+  charge-conserving deposition at near-luminal displacement per step.
+
+Every builder draws its particles from ``numpy.random.default_rng(seed)``
+and keys its Monte Carlo operators on the same seed, so two builds of
+the same (scenario, n, seed, layout, precision) are identical and the
+differential harness can digest-compare engine modes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..constants import (ELECTRON_MASS, MICRON, SPEED_OF_LIGHT,
+                         relativistic_field_amplitude)
+from ..errors import ConfigurationError
+from ..fields.grid import YEE_STAGGER, YeeGrid
+from ..fields.interpolation import Shape
+from ..fp import Precision
+from ..particles.ensemble import Layout, ParticleEnsemble
+from .fdtd import max_stable_dt
+from .montecarlo import CollisionOperator, IonizationOperator
+from .simulation import PicSimulation
+
+__all__ = ["PicScenario", "SCENARIOS", "scenario_names", "get_scenario",
+           "build_scenario"]
+
+#: CFL safety factor every scenario uses; at half the Courant limit a
+#: luminal particle moves at most half a cell per step, comfortably
+#: inside the Esirkepov sub-cell-motion requirement.
+CFL_SAFETY = 0.5
+
+
+@dataclass(frozen=True)
+class PicScenario:
+    """A named, validated PIC set-up.
+
+    Args:
+        name: Registry key (also the CLI / differential label).
+        descr: One-line description.
+        builder: ``builder(n, seed, layout, precision, deposition,
+            solver) -> PicSimulation``.
+        default_particles: Particle count used when the caller does not
+            pick one (CLI default, regress suite fallback).
+        default_steps: Step count giving a meaningful but quick run.
+        energy_tolerance: Relative total-energy drift bound the
+            scenario's validation test enforces over
+            ``default_steps`` steps.
+    """
+
+    name: str
+    descr: str
+    builder: Callable[..., PicSimulation]
+    default_particles: int = 2048
+    default_steps: int = 8
+    energy_tolerance: float = 1.0e-2
+
+    def build(self, n_particles: Optional[int] = None, seed: int = 0,
+              layout: Layout = Layout.SOA,
+              precision: Precision = Precision.DOUBLE,
+              deposition: Optional[str] = None,
+              solver: Optional[str] = None) -> PicSimulation:
+        """Construct the scenario's simulation (see :func:`build_scenario`)."""
+        n = self.default_particles if n_particles is None else n_particles
+        if n <= 0:
+            raise ConfigurationError(
+                f"n_particles must be positive, got {n!r}")
+        return self.builder(n, seed, layout, precision,
+                            deposition or "esirkepov", solver or "fdtd")
+
+
+def _uniform_cube_grid(dims: Tuple[int, int, int],
+                       spacing: float) -> YeeGrid:
+    return YeeGrid(origin=(0.0, 0.0, 0.0),
+                   spacing=(spacing, spacing, spacing), dims=dims)
+
+
+def _stagger_coordinate(grid: YeeGrid, component: str) -> np.ndarray:
+    """The x coordinates of ``component``'s sample points, broadcastable."""
+    x = grid.node_coordinates(0, YEE_STAGGER[component][0])
+    return x[:, None, None]
+
+
+def _thermal_momenta(rng: np.random.Generator, n: int,
+                     spread: float) -> np.ndarray:
+    """Isotropic Gaussian momenta with std ``spread * m_e c`` [g cm/s]."""
+    scale = spread * ELECTRON_MASS * SPEED_OF_LIGHT
+    return rng.standard_normal((n, 3)) * scale
+
+
+def _make_ensemble(positions: np.ndarray, momenta: np.ndarray,
+                   layout: Layout,
+                   precision: Precision) -> ParticleEnsemble:
+    return ParticleEnsemble.from_arrays(positions, momenta,
+                                        precision=precision,
+                                        layout=layout)
+
+
+def _laser_slab(n: int, seed: int, layout: Layout, precision: Precision,
+                deposition: str, solver: str) -> PicSimulation:
+    """Travelling wave + electron slab + field ionization."""
+    wavelength = 0.8 * MICRON
+    nx, ny, nz = 32, 8, 8
+    dx = 2.0 * wavelength / nx          # two periods fit the box
+    grid = _uniform_cube_grid((nx, ny, nz), dx)
+    k = 2.0 * math.pi / wavelength
+    omega = SPEED_OF_LIGHT * k
+    e0 = 0.05 * relativistic_field_amplitude(omega)
+    # Exact vacuum travelling wave along +x: Ey = Bz = E0 sin(kx).
+    grid.fields["ey"] += e0 * np.sin(k * _stagger_coordinate(grid, "ey"))
+    grid.fields["bz"] += e0 * np.sin(k * _stagger_coordinate(grid, "bz"))
+
+    rng = np.random.default_rng(seed)
+    extent = np.asarray(grid.extent)
+    positions = rng.random((n, 3)) * extent
+    # Concentrate the slab in the middle fifth of x.
+    positions[:, 0] = (0.4 + 0.2 * rng.random(n)) * extent[0]
+    momenta = _thermal_momenta(rng, n, spread=0.01)
+    ensemble = _make_ensemble(positions, momenta, layout, precision)
+
+    dt = max_stable_dt(grid.spacing, safety=CFL_SAFETY)
+    ionization = IonizationOperator(rate=0.05 * omega,
+                                    critical_field=2.0 * e0, seed=seed)
+    return PicSimulation(grid, ensemble, dt, deposition=deposition,
+                         interpolation=Shape.CIC, field_solver=solver,
+                         operators=(ionization,))
+
+
+def _magnetic_mirror(n: int, seed: int, layout: Layout,
+                     precision: Precision, deposition: str,
+                     solver: str) -> PicSimulation:
+    """Thermal plasma in a paraxial mirror field with collisions."""
+    dims = (16, 16, 16)
+    dx = 0.25 * MICRON
+    grid = _uniform_cube_grid(dims, dx)
+    length = dims[0] * dx
+    k = 2.0 * math.pi / length
+    b0, alpha = 5.0e4, 0.3            # 50 kG bottle, 30% mirror depth
+    centre = 0.5 * dims[1] * dx
+    # Paraxial expansion of a periodic mirror: div B = 0 to O(r^2).
+    x_bx = grid.node_coordinates(0, YEE_STAGGER["bx"][0])[:, None, None]
+    grid.fields["bx"] += b0 * (1.0 + alpha * np.cos(k * x_bx))
+    for name, axis in (("by", 1), ("bz", 2)):
+        x = grid.node_coordinates(0, YEE_STAGGER[name][0])[:, None, None]
+        r = grid.node_coordinates(axis, YEE_STAGGER[name][axis]) - centre
+        shape = [1, 1, 1]
+        shape[axis] = dims[axis]
+        transverse = r.reshape(shape)
+        grid.fields[name] += (0.5 * alpha * b0 * k * transverse
+                              * np.sin(k * x))
+
+    rng = np.random.default_rng(seed)
+    positions = rng.random((n, 3)) * np.asarray(grid.extent)
+    momenta = _thermal_momenta(rng, n, spread=0.05)
+    ensemble = _make_ensemble(positions, momenta, layout, precision)
+
+    dt = max_stable_dt(grid.spacing, safety=CFL_SAFETY)
+    collisions = CollisionOperator(frequency=2.0e-3 / dt, seed=seed)
+    return PicSimulation(grid, ensemble, dt, deposition=deposition,
+                         interpolation=Shape.CIC, field_solver=solver,
+                         operators=(collisions,))
+
+
+def _relativistic_beam(n: int, seed: int, layout: Layout,
+                       precision: Precision, deposition: str,
+                       solver: str) -> PicSimulation:
+    """A gamma ~ 10 drifting beam with a small thermal spread."""
+    dims = (32, 8, 8)
+    dx = 0.5 * MICRON
+    grid = _uniform_cube_grid(dims, dx)
+
+    rng = np.random.default_rng(seed)
+    extent = np.asarray(grid.extent)
+    positions = rng.random((n, 3)) * extent
+    # Gaussian transverse profile about the axis, sigma = one cell.
+    for axis in (1, 2):
+        centre = 0.5 * extent[axis]
+        positions[:, axis] = np.mod(
+            centre + rng.standard_normal(n) * dx, extent[axis])
+    momenta = _thermal_momenta(rng, n, spread=0.02)
+    momenta[:, 0] += 10.0 * ELECTRON_MASS * SPEED_OF_LIGHT
+    ensemble = _make_ensemble(positions, momenta, layout, precision)
+
+    dt = max_stable_dt(grid.spacing, safety=CFL_SAFETY)
+    return PicSimulation(grid, ensemble, dt, deposition=deposition,
+                         interpolation=Shape.CIC, field_solver=solver)
+
+
+#: The scenario registry, keyed by name.
+SCENARIOS: Dict[str, PicScenario] = {
+    scenario.name: scenario for scenario in (
+        PicScenario(
+            name="laser-slab",
+            descr="travelling wave through an electron slab with "
+                  "field ionization",
+            builder=_laser_slab,
+            energy_tolerance=2.0e-2),
+        PicScenario(
+            name="magnetic-mirror",
+            descr="thermal electrons in a paraxial mirror field with "
+                  "pitch-angle collisions",
+            builder=_magnetic_mirror,
+            energy_tolerance=5.0e-3),
+        PicScenario(
+            name="relativistic-beam",
+            descr="gamma ~ 10 drifting beam stressing the "
+                  "relativistic push and deposition",
+            builder=_relativistic_beam,
+            energy_tolerance=5.0e-3),
+    )
+}
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """The registered scenario names, in registry order."""
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> PicScenario:
+    """Look up a scenario by name (:class:`ConfigurationError` if absent)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown PIC scenario {name!r}; expected one of "
+            f"{scenario_names()}") from None
+
+
+def build_scenario(name: str, n_particles: Optional[int] = None,
+                   seed: int = 0, layout: Layout = Layout.SOA,
+                   precision: Precision = Precision.DOUBLE,
+                   deposition: Optional[str] = None,
+                   solver: Optional[str] = None) -> PicSimulation:
+    """Build a registered scenario's simulation.
+
+    ``deposition`` and ``solver`` default to the scenario's canonical
+    choices (Esirkepov + FDTD); pass explicit values to sweep the
+    alternatives.
+    """
+    return get_scenario(name).build(n_particles, seed, layout, precision,
+                                    deposition, solver)

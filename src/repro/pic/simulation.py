@@ -52,6 +52,14 @@ class PicSimulation:
         field_solver: "fdtd" (Yee leapfrog, default) or "spectral"
             (FFT-based PSATD; dispersion-free, no Courant limit) — the
             two Maxwell-solver families the paper's Section 2 names.
+        operators: Monte Carlo operators
+            (:class:`~repro.pic.montecarlo.PicOperator`) applied after
+            the push and before the deposit, in order, once per
+            ensemble per step.  Their draws are counter-based on the
+            step index, so this loop and the graph-lowered
+            :class:`~repro.pic.engine.PicEngine` stay bit-exact.
+            Operators are not part of checkpoints — a restored
+            simulation must be handed them again.
     """
 
     def __init__(self, grid: YeeGrid,
@@ -61,7 +69,8 @@ class PicSimulation:
                  pusher: Optional[MomentumPusher] = None,
                  deposition: str = "esirkepov",
                  interpolation: Shape = Shape.CIC,
-                 field_solver: str = "fdtd") -> None:
+                 field_solver: str = "fdtd",
+                 operators: Sequence = ()) -> None:
         if deposition not in DEPOSITIONS:
             raise SimulationError(
                 f"deposition must be one of {DEPOSITIONS}, "
@@ -92,6 +101,7 @@ class PicSimulation:
         self.pusher = pusher if pusher is not None else BorisPusher()
         self.deposition = deposition
         self.interpolation = interpolation
+        self.operators = list(operators)
         self.step_count = 0
 
     @property
@@ -114,7 +124,7 @@ class PicSimulation:
         grid = self.grid
         with trace_span("pic-step", "pic", step=self.step_count):
             grid.clear_currents()
-            for ensemble in self.ensembles:
+            for species, ensemble in enumerate(self.ensembles):
                 with trace_span("interpolate", "pic",
                                 n_particles=ensemble.size):
                     fields = interpolate_from_yee_grid(
@@ -123,6 +133,10 @@ class PicSimulation:
                 with trace_span("push", "pic",
                                 n_particles=ensemble.size):
                     self.pusher.push(ensemble, fields, self.dt)
+                for operator in self.operators:
+                    with trace_span(f"mc:{operator.tag}", "pic"):
+                        operator.apply(ensemble, fields, self.step_count,
+                                       self.dt, stream=species)
                 with trace_span(f"deposit:{self.deposition}", "pic"):
                     if self.deposition == "esirkepov":
                         deposit_current_esirkepov(grid, ensemble,

@@ -56,6 +56,16 @@ class CellResult:
     def label(self) -> str:
         return cell_label(self.keys)
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready comparison record."""
+        return {
+            "cell": self.label, "keys": dict(self.keys),
+            "metric": self.metric, "measured": self.measured,
+            "reference": self.reference, "drift": self.drift,
+            "tolerance": self.tolerance, "status": self.status,
+            "passed": self.passed,
+        }
+
 
 @dataclass
 class SuiteResult:
@@ -79,6 +89,16 @@ class SuiteResult:
     def n_compared(self) -> int:
         return sum(1 for c in self.cells if c.status != NEW)
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready suite verdict."""
+        return {
+            "suite": self.suite, "passed": self.passed,
+            "skipped": self.skipped, "error": self.error,
+            "sanity": [{"claim": c.claim, "detail": c.detail,
+                        "passed": c.passed} for c in self.sanity],
+            "cells": [c.as_dict() for c in self.cells],
+        }
+
 
 @dataclass
 class RegressionReport:
@@ -89,6 +109,18 @@ class RegressionReport:
     @property
     def passed(self) -> bool:
         return all(r.passed for r in self.results)
+
+    def as_dict(self) -> Dict[str, object]:
+        """The machine-readable report ``repro bench --regress --json``
+        prints: one verdict object per suite, schema-stable for CI
+        consumers."""
+        return {
+            "passed": self.passed,
+            "suites": [r.as_dict() for r in self.results],
+            "cells_compared": sum(r.n_compared for r in self.results),
+            "cells_failed": sum(1 for r in self.results
+                                for c in r.cells if not c.passed),
+        }
 
     def render(self) -> str:
         from ..bench.tables import format_table

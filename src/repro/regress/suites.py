@@ -14,6 +14,7 @@ measure    real numpy kernels (host)    no       manual, real
 shard      multi-device group NSPS      yes      smoke, distributed
 fusion     fused-vs-unfused pair        yes      smoke, graph
 portability Pennycook PP sweep          yes      smoke, backends
+pic        full PIC step (kernel graph) yes      smoke, pic, graph
 ========== ============================ ======== ==================
 
 Baseline-backed suites replay the *committed configuration* (particle
@@ -37,7 +38,7 @@ from .baseline import load_baseline
 __all__ = ["SuiteArtifact", "SUITES", "get_suite", "all_suites",
            "Table2Suite", "Table3Suite", "Fig1Suite", "FirstIterSuite",
            "ThreadsSuite", "MeasureSuite", "ShardSuite", "FusionSuite",
-           "PortabilitySuite"]
+           "PortabilitySuite", "PicSuite"]
 
 #: Paper-scale default particle count (the tables' recorded baseline n).
 PAPER_N = 10_000_000
@@ -600,6 +601,93 @@ class PortabilitySuite(_BaselineParamsMixin, RegressionTest):
                 f"see docs/BACKENDS.md")
 
 
+class PicSuite(_BaselineParamsMixin, RegressionTest):
+    suite = "pic"
+    descr = "self-consistent PIC step through the kernel graph " \
+            "(fused vs unfused, energy-conserving)"
+    tags = frozenset({"smoke", "pic", "graph"})
+    devices = ("iris-xe-max",)
+    backends = ("oneapi",)
+    parameters = {"config": ("unfused", "fused"),
+                  "scenario": ("laser-slab",)}
+
+    DEFAULT_N = 2048
+    DEFAULT_STEPS = 6
+    DEFAULT_WARMUP = 2
+    DEFAULT_SCENARIO = "laser-slab"
+    DEFAULT_SEED = 7
+
+    def _replay_config(self) -> Tuple[str, str]:
+        """(scenario, device) of the committed cell, or defaults."""
+        snapshot = self._latest()
+        if snapshot is not None and snapshot.cells:
+            cell = snapshot.cells[0]
+            return (cell.keys.get("scenario", self.DEFAULT_SCENARIO),
+                    cell.keys.get("device", "iris-xe-max"))
+        return self.DEFAULT_SCENARIO, "iris-xe-max"
+
+    def run(self, n: Optional[int] = None) -> SuiteArtifact:
+        from ..api import PicConfig, run_pic
+        scenario, device = self._replay_config()
+        n = n if n is not None else self.baseline_n(self.DEFAULT_N)
+        steps = int(self.baseline_param("steps", self.DEFAULT_STEPS))
+        warmup = int(self.baseline_param("warmup", self.DEFAULT_WARMUP))
+        seed = int(self.baseline_param("seed", self.DEFAULT_SEED))
+        reports = {}
+        for name, fusion in (("fused", True), ("unfused", False)):
+            config = PicConfig(scenario=scenario, n_particles=n,
+                               steps=steps, warmup=warmup, seed=seed,
+                               device=device, fusion=fusion)
+            # validate=True replays every launch through the hazard
+            # detector — the suite run doubles as the hazard gate.
+            reports[name] = run_pic(config, validate=True)
+        return SuiteArtifact(reports, n,
+                             {"steps": steps, "warmup": warmup,
+                              "seed": seed})
+
+    def cells(self, artifact: SuiteArtifact) -> List[Dict[str, object]]:
+        return [report.as_cell(self.suite, config=name,
+                               tolerance=self.default_tolerance)
+                for name, report in artifact.data.items()]
+
+    def sanity(self, artifact, cells) -> List[SanityCheck]:
+        from ..pic.scenarios import get_scenario
+        reports = artifact.data
+        checks = super().sanity(artifact, cells)
+        fused, unfused = reports["fused"], reports["unfused"]
+        checks.append(SanityCheck(
+            "pic: fused and unfused end states bit-identical "
+            "(particles + grid)",
+            f"digests {fused.digest[:12]} / {unfused.digest[:12]}",
+            fused.digest == unfused.digest))
+        checks.append(SanityCheck(
+            "pic: warm fused NSPS beats unfused",
+            f"fused {fused.nsps:.3f} vs unfused {unfused.nsps:.3f}",
+            fused.nsps < unfused.nsps))
+        bound = get_scenario(fused.scenario).energy_tolerance
+        for name, report in reports.items():
+            checks.append(SanityCheck(
+                f"pic: {name} total-energy drift within the "
+                f"{fused.scenario!r} bound",
+                f"{report.energy_drift:.2e} <= {bound:.0e}",
+                report.energy_drift <= bound))
+        return checks
+
+    def render(self, artifact: SuiteArtifact) -> str:
+        from ..bench.tables import format_table
+        rows = [[name, f"{r.nsps:.3f}", f"{r.first_step_nsps:.3f}",
+                 r.fusion_groups, r.kernels_eliminated,
+                 f"{r.energy_drift:.2e}", r.digest[:12]]
+                for name, r in artifact.data.items()]
+        sample = next(iter(artifact.data.values()))
+        return format_table(
+            ["config", "warm NSPS", "cold NSPS", "groups", "elided",
+             "energy drift", "digest"],
+            rows, f"PIC step through the kernel graph — "
+                  f"{sample.scenario}, {sample.deposition} deposition, "
+                  f"{sample.solver} solver")
+
+
 #: Declaration order is execution and listing order.
 SUITES: Dict[str, type] = {
     "table2": Table2Suite,
@@ -611,6 +699,7 @@ SUITES: Dict[str, type] = {
     "shard": ShardSuite,
     "fusion": FusionSuite,
     "portability": PortabilitySuite,
+    "pic": PicSuite,
 }
 
 

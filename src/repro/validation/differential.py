@@ -50,8 +50,8 @@ from .hazard import assert_hazard_free
 
 __all__ = ["ULP_TOLERANCES", "ulp_distance", "reference_push",
            "compare_ensembles", "ComboResult", "DigestCheck",
-           "DifferentialReport", "run_differential", "RunValidation",
-           "validate_run"]
+           "DifferentialReport", "run_differential",
+           "run_pic_differential", "RunValidation", "validate_run"]
 
 #: Maximum accepted ULP distance from the scalar reference, per storage
 #: precision.  The reference runs every intermediate in double, the
@@ -363,6 +363,149 @@ def run_differential(n: int = 192, steps: int = 3,
         if tracer is not None:
             tracer.validation(f"digest:{name}", check.passed,
                               distinct=len(union))
+    return report
+
+
+# -- the PIC sweep -------------------------------------------------------
+
+#: Execution modes of the PIC differential sweep.  ``reference`` is
+#: :meth:`~repro.pic.simulation.PicSimulation.run` driving the stage
+#: functions directly on the host; the other three are
+#: :class:`~repro.pic.engine.PicEngine` in its legacy / graph-unfused /
+#: graph-fused modes.  All four execute the *same* stage bodies in the
+#: same order, so unlike the push sweep the agreement contract is
+#: bitwise, not ULP-bounded: every mode of every layout must land in
+#: one digest group.
+PIC_MODES: Tuple[Optional[object], ...] = ("reference", None, False, True)
+
+_PIC_MODE_LABELS = {"reference": "reference", None: "legacy",
+                    False: "unfused", True: "fused"}
+
+
+def run_pic_differential(n: int = 192, steps: int = 3,
+                         device: str = "iris-xe-max",
+                         scenarios: Optional[Sequence[str]] = None,
+                         layouts: Sequence[Layout] = (Layout.AOS,
+                                                      Layout.SOA),
+                         precisions: Sequence[Precision] = (
+                             Precision.DOUBLE,),
+                         modes: Sequence[Optional[object]] = PIC_MODES,
+                         seed: int = 0) -> DifferentialReport:
+    """Differential sweep over the full PIC step (gather / push /
+    Monte Carlo / deposit / field advance).
+
+    Each scenario x layout x precision cell is advanced ``steps`` steps
+    through every execution mode in ``modes``; the
+    :func:`~repro.pic.engine.pic_state_digest` of the final state
+    (all particle components including weight, plus grid fields and
+    currents) must be bit-identical across modes *and* across layouts
+    — the engine lowers the same stage bodies the reference simulation
+    calls, and fusion only removes launch boundaries, never reorders
+    arithmetic.  Engine modes are additionally replayed through the
+    hazard detector; the declared read/write sets of the lowered
+    kernel nodes must explain every dependency.
+
+    Shares :class:`DifferentialReport` with the push sweep:
+    ``max_ulp`` is the measured distance of the first species from the
+    reference run (expected exactly 0), ``passed`` is digest equality.
+    """
+    from ..backends.registry import queue_for
+    from ..pic import PicEngine, build_scenario, pic_state_digest
+    from ..pic.scenarios import scenario_names
+
+    names = list(scenarios) if scenarios is not None \
+        else list(scenario_names())
+    tracer = active_tracer()
+    report = DifferentialReport(
+        n_particles=n, steps=steps,
+        tolerances={p.value: 0.0 for p in precisions})
+    digests: Dict[Tuple[str, str], Dict[str, List[str]]] = {}
+    for scenario in names:
+        for precision in precisions:
+            for layout in layouts:
+                reference = build_scenario(
+                    scenario, n_particles=n, seed=seed, layout=layout,
+                    precision=precision)
+                reference.run(steps)
+                ref_digest = pic_state_digest(reference)
+                group = digests.setdefault(
+                    (f"{scenario}:{layout.value}", precision.value), {})
+                for mode in modes:
+                    label = (f"pic[{scenario}]/{layout.value}/"
+                             f"{precision.value}/"
+                             f"{_PIC_MODE_LABELS[mode]}")
+                    if mode == "reference":
+                        digest, checked, max_ulp, worst = \
+                            ref_digest, 0, 0.0, "-"
+                        final = reference
+                    else:
+                        simulation = build_scenario(
+                            scenario, n_particles=n, seed=seed,
+                            layout=layout, precision=precision)
+                        engine = PicEngine(queue_for(device), simulation,
+                                           fusion=mode)
+                        engine.run(steps)
+                        checked = sum(assert_hazard_free(q)
+                                      for q in engine.queues())
+                        digest = pic_state_digest(simulation)
+                        max_ulp, worst, _ = compare_ensembles(
+                            simulation.ensembles[0],
+                            reference.ensembles[0])
+                        final = simulation
+                    del final
+                    passed = digest == ref_digest
+                    result = ComboResult(
+                        engine=f"pic[{scenario}]", layout=layout.value,
+                        precision=precision.value,
+                        fusion=_PIC_MODE_LABELS[mode],
+                        max_ulp=max_ulp if isinstance(max_ulp, float)
+                        else 0.0,
+                        worst_component=worst, digest=digest,
+                        commands_checked=checked, passed=passed,
+                        detail="" if passed else
+                        "digest differs from the reference run")
+                    report.results.append(result)
+                    if tracer is not None:
+                        tracer.validation(f"pic:{label}", passed,
+                                          digest=digest[:12],
+                                          commands=checked)
+                    group.setdefault(digest, []).append(label)
+    for (cell_name, precision_name), by_digest in sorted(digests.items()):
+        name = f"{cell_name}/{precision_name} bit-exact group"
+        if len(by_digest) == 1:
+            check = DigestCheck(name, True)
+        else:
+            parts = "; ".join(
+                f"{d[:12]}...: {', '.join(labels)}"
+                for d, labels in sorted(by_digest.items()))
+            check = DigestCheck(name, False,
+                                f"{len(by_digest)} distinct digests "
+                                f"({parts})")
+        report.digest_checks.append(check)
+        if tracer is not None:
+            tracer.validation(f"digest:{name}", check.passed,
+                              distinct=len(by_digest))
+    # Cross-layout agreement per scenario: the digest hashes a
+    # contiguous copy of each component, so AoS and SoA runs of the
+    # same seeded scenario must agree to the bit.
+    for scenario in names:
+        for precision_name in sorted({p.value for p in precisions}):
+            per_layout = {cell: set(by_digest)
+                          for (cell, pname), by_digest in digests.items()
+                          if pname == precision_name
+                          and cell.startswith(f"{scenario}:")}
+            if len(per_layout) < 2:
+                continue
+            union = set().union(*per_layout.values())
+            name = f"pic[{scenario}] AoS == SoA ({precision_name})"
+            check = DigestCheck(name, len(union) == 1,
+                                "" if len(union) == 1 else
+                                f"{len(union)} distinct digests "
+                                f"across layouts")
+            report.digest_checks.append(check)
+            if tracer is not None:
+                tracer.validation(f"digest:{name}", check.passed,
+                                  distinct=len(union))
     return report
 
 

@@ -8,8 +8,9 @@ from repro.constants import ELECTRON_MASS, ELEMENTARY_CHARGE, SPEED_OF_LIGHT
 from repro.errors import SimulationError
 from repro.fields import YeeGrid
 from repro.particles import ParticleEnsemble
-from repro.pic import (deposit_charge, deposit_current_direct,
-                       deposit_current_esirkepov)
+from repro.pic import (ACCUMULATION_DTYPE, charge_weight, deposit_charge,
+                       deposit_current_direct, deposit_current_esirkepov,
+                       invalidate_charge_weight)
 
 
 def grid8():
@@ -223,3 +224,151 @@ class TestEsirkepovContinuity:
         old = np.array([m[:3] for m in moves])
         new = old + np.array([m[3:] for m in moves])
         assert self._continuity_residual(old, new) < 1e-10
+
+
+def _momenta_for_velocity(velocities):
+    v = np.asarray(velocities, dtype=np.float64)
+    speed = np.linalg.norm(v, axis=1, keepdims=True)
+    gamma = 1.0 / np.sqrt(1.0 - (speed / SPEED_OF_LIGHT) ** 2)
+    return ELECTRON_MASS * gamma * v
+
+
+class TestDirectSchemeViolatesContinuity:
+    """The paper-baseline direct deposit is *not* charge-conserving —
+    the property the Esirkepov scheme exists to restore."""
+
+    def _residuals(self, old, displacement, dt=1.0):
+        old = np.asarray(old, dtype=np.float64)
+        new = old + np.asarray(displacement)
+        residuals = {}
+        for scheme in ("esirkepov", "direct"):
+            grid = grid8()
+            ensemble = electrons_at(new,
+                                    _momenta_for_velocity(
+                                        np.asarray(displacement) / dt))
+            rho0 = deposit_charge(grid, ensemble, positions=old)
+            rho1 = deposit_charge(grid, ensemble, positions=new)
+            grid.clear_currents()
+            if scheme == "esirkepov":
+                deposit_current_esirkepov(grid, ensemble, old, dt=dt)
+            else:
+                deposit_current_direct(grid, ensemble)
+            residual = (rho1 - rho0) / dt + discrete_divergence(grid)
+            residuals[scheme] = (np.abs(residual).max()
+                                 / np.abs(rho0).max())
+        return residuals
+
+    def test_direct_violates_esirkepov_conserves(self, rng):
+        old = rng.uniform(0.3, 7.7, (40, 3))
+        displacement = rng.uniform(-0.45, 0.45, (40, 3))
+        residuals = self._residuals(old, displacement)
+        assert residuals["esirkepov"] < 1e-12
+        assert residuals["direct"] > 1e-3
+
+    def test_single_particle_gap_is_order_unity(self):
+        residuals = self._residuals([[3.2, 4.1, 5.4]],
+                                    [[0.4, -0.3, 0.2]])
+        assert residuals["esirkepov"] < 1e-12
+        assert residuals["direct"] > 1e-2
+
+
+class TestChargeWeightCache:
+    """PR 10 bugfix: the float64 ``q * w`` upcast happens once per
+    ensemble, not once per deposition call."""
+
+    def test_cached_and_read_only(self):
+        ensemble = electrons_at([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]])
+        qw = charge_weight(ensemble)
+        assert charge_weight(ensemble) is qw
+        assert qw.dtype == ACCUMULATION_DTYPE
+        assert not qw.flags.writeable
+        np.testing.assert_allclose(qw, -ELEMENTARY_CHARGE)
+
+    def test_no_per_call_upcast(self, monkeypatch):
+        # Pin the bug class: repeated depositions must not re-run the
+        # O(N) type-table gather + weight upcast behind charge_weight.
+        ensemble = electrons_at([[2.0, 2.0, 2.0], [5.0, 5.0, 5.0]])
+        calls = {"n": 0}
+        original = ensemble.charges
+
+        def counting():
+            calls["n"] += 1
+            return original()
+
+        monkeypatch.setattr(ensemble, "charges", counting)
+        invalidate_charge_weight(ensemble)
+        grid = grid8()
+        old = ensemble.positions()
+        for _ in range(4):
+            deposit_charge(grid, ensemble)
+            deposit_current_direct(grid, ensemble)
+            deposit_current_esirkepov(grid, ensemble, old, dt=1.0)
+        assert calls["n"] == 1
+
+    def test_invalidate_refreshes_after_weight_mutation(self):
+        ensemble = electrons_at([[2.0, 2.0, 2.0]])
+        before = charge_weight(ensemble).copy()
+        ensemble.component("weight")[:] = 3.0
+        invalidate_charge_weight(ensemble)
+        np.testing.assert_allclose(charge_weight(ensemble), 3.0 * before)
+
+    def test_global_invalidate(self):
+        ensemble = electrons_at([[2.0, 2.0, 2.0]])
+        stale = charge_weight(ensemble)
+        invalidate_charge_weight()
+        assert charge_weight(ensemble) is not stale
+
+    def test_float32_weights_upcast_to_float64(self):
+        from repro.fp import Precision
+        from repro.particles import Layout
+        pos = np.array([[1.5, 2.5, 3.5]])
+        ensemble = ParticleEnsemble.from_arrays(
+            pos, np.zeros((1, 3)), precision=Precision.SINGLE)
+        assert ensemble.component("weight").dtype == np.float32
+        assert charge_weight(ensemble).dtype == ACCUMULATION_DTYPE
+
+
+class TestAccumulationContract:
+    """Deposition accumulates in float64, whatever the storage
+    precision — and refuses any other target."""
+
+    def test_charge_density_is_float64(self):
+        from repro.fp import Precision
+        pos = np.array([[1.5, 2.5, 3.5]])
+        ensemble = ParticleEnsemble.from_arrays(
+            pos, np.zeros((1, 3)), precision=Precision.SINGLE)
+        assert deposit_charge(grid8(), ensemble).dtype == \
+            ACCUMULATION_DTYPE
+
+    def test_float32_current_target_rejected(self):
+        grid = grid8()
+        grid.currents["jx"] = grid.currents["jx"].astype(np.float32)
+        p = 0.1 * ELECTRON_MASS * SPEED_OF_LIGHT
+        ensemble = electrons_at([[3.0, 3.0, 3.0]], [[p, 0.0, 0.0]])
+        with pytest.raises(SimulationError, match="float64"):
+            deposit_current_direct(grid, ensemble)
+        with pytest.raises(SimulationError, match="float64"):
+            deposit_current_esirkepov(
+                grid, ensemble, ensemble.positions() - 0.1, dt=1.0)
+
+    def test_single_precision_ensemble_grid_bits_match_double(self):
+        # Positions/weights exactly representable in float32: the
+        # float64 accumulation then makes the grid currents
+        # bit-identical across storage precisions.
+        from repro.fp import Precision
+        pos = np.array([[3.25, 4.5, 5.75], [1.5, 2.25, 6.0]])
+        vel = np.array([[0.25, 0.0, -0.5], [0.0, 0.125, 0.25]])
+        outcomes = {}
+        for precision in (Precision.SINGLE, Precision.DOUBLE):
+            grid = grid8()
+            ensemble = ParticleEnsemble.from_arrays(
+                pos, _momenta_for_velocity(vel).astype(np.float32),
+                precision=precision)
+            old = ensemble.positions() - np.float32(0.25)
+            deposit_current_esirkepov(grid, ensemble, old, dt=1.0)
+            outcomes[precision] = {n: grid.currents[n].copy()
+                                   for n in ("jx", "jy", "jz")}
+        for name in ("jx", "jy", "jz"):
+            np.testing.assert_array_equal(
+                outcomes[Precision.SINGLE][name],
+                outcomes[Precision.DOUBLE][name])

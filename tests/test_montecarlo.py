@@ -1,0 +1,168 @@
+"""Tests for the seeded Monte Carlo operators (repro.pic.montecarlo)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import ELECTRON_MASS, SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.fields.base import FieldValues
+from repro.fp import Precision
+from repro.particles import Layout, make_ensemble
+from repro.pic import (CollisionOperator, IonizationOperator, charge_weight,
+                       step_generator)
+
+
+def seeded_ensemble(layout=Layout.SOA, n=64, seed=11):
+    rng = np.random.default_rng(seed)
+    ensemble = make_ensemble(n, layout, Precision.DOUBLE)
+    ensemble.set_positions(rng.uniform(0.0, 4.0, (n, 3)))
+    scale = ELECTRON_MASS * SPEED_OF_LIGHT
+    ensemble.set_momenta(rng.normal(0.0, 0.4 * scale, (n, 3)))
+    return ensemble
+
+
+def uniform_fields(n, e0):
+    shape = FieldValues(*(np.full(n, e0) if i < 3 else np.zeros(n)
+                          for i in range(6)))
+    return shape
+
+
+class TestStepGenerator:
+    def test_pure_function_of_key_and_counter(self):
+        a = step_generator(7, "collide", 3, stream=1).random(8)
+        b = step_generator(7, "collide", 3, stream=1).random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_step_stream_tag_and_seed_all_enter_the_key(self):
+        base = step_generator(7, "collide", 3, stream=1).random(8)
+        for other in (step_generator(7, "collide", 4, stream=1),
+                      step_generator(7, "collide", 3, stream=2),
+                      step_generator(7, "ionize", 3, stream=1),
+                      step_generator(8, "collide", 3, stream=1)):
+            assert not np.array_equal(base, other.random(8))
+
+    def test_no_hidden_state_between_steps(self):
+        # Drawing step 3 then step 5 gives the same step-5 stream as
+        # drawing step 5 alone: the counter, not history, decides.
+        step_generator(0, "collide", 3).random(100)
+        direct = step_generator(0, "collide", 5).random(10)
+        np.testing.assert_array_equal(
+            direct, step_generator(0, "collide", 5).random(10))
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            step_generator(0, "collide", -1)
+
+
+class TestCollisionOperator:
+    def test_preserves_momentum_magnitude(self):
+        ensemble = seeded_ensemble()
+        p_before = np.linalg.norm(ensemble.momenta(), axis=1)
+        CollisionOperator(frequency=0.5, seed=3).apply(
+            ensemble, None, step=0, dt=1.0)
+        p_after = np.linalg.norm(ensemble.momenta(), axis=1)
+        np.testing.assert_allclose(p_after, p_before, rtol=1e-12)
+
+    def test_rotates_directions(self):
+        ensemble = seeded_ensemble()
+        before = ensemble.momenta().copy()
+        CollisionOperator(frequency=0.5, seed=3).apply(
+            ensemble, None, step=0, dt=1.0)
+        assert np.abs(ensemble.momenta() - before).max() > 0.0
+
+    def test_deterministic_per_seed(self):
+        results = []
+        for _ in range(2):
+            ensemble = seeded_ensemble()
+            CollisionOperator(frequency=0.2, seed=9).apply(
+                ensemble, None, step=4, dt=0.5, stream=1)
+            results.append(ensemble.momenta().copy())
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_layout_independent_bits(self):
+        outcomes = {}
+        for layout in (Layout.AOS, Layout.SOA):
+            ensemble = seeded_ensemble(layout)
+            CollisionOperator(frequency=0.2, seed=9).apply(
+                ensemble, None, step=4, dt=0.5)
+            outcomes[layout] = ensemble.momenta().copy()
+        np.testing.assert_array_equal(outcomes[Layout.AOS],
+                                      outcomes[Layout.SOA])
+
+    def test_zero_momentum_particle_untouched(self):
+        ensemble = seeded_ensemble(n=4)
+        ensemble.set_momenta(np.zeros((4, 3)))
+        CollisionOperator(frequency=5.0, seed=0).apply(
+            ensemble, None, step=0, dt=1.0)
+        np.testing.assert_array_equal(ensemble.momenta(),
+                                      np.zeros((4, 3)))
+
+    def test_zero_frequency_is_identity(self):
+        ensemble = seeded_ensemble()
+        before = ensemble.momenta().copy()
+        CollisionOperator(frequency=0.0, seed=0).apply(
+            ensemble, None, step=0, dt=1.0)
+        np.testing.assert_array_equal(ensemble.momenta(), before)
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CollisionOperator(frequency=-1.0)
+
+
+class TestIonizationOperator:
+    def test_requires_gathered_fields(self):
+        ensemble = seeded_ensemble()
+        operator = IonizationOperator(rate=1.0, critical_field=1.0)
+        with pytest.raises(ConfigurationError):
+            operator.apply(ensemble, None, step=0, dt=1.0)
+
+    def test_strong_field_grows_weights(self):
+        ensemble = seeded_ensemble()
+        fields = uniform_fields(ensemble.size, e0=1e6)
+        operator = IonizationOperator(rate=50.0, critical_field=1.0,
+                                      yield_fraction=0.5, seed=2)
+        before = ensemble.component("weight").copy()
+        operator.apply(ensemble, fields, step=0, dt=1.0)
+        after = ensemble.component("weight")
+        assert np.all(after >= before)
+        assert np.any(after > before)
+
+    def test_zero_field_never_ionizes(self):
+        ensemble = seeded_ensemble()
+        fields = uniform_fields(ensemble.size, e0=0.0)
+        before = ensemble.component("weight").copy()
+        IonizationOperator(rate=50.0, critical_field=1.0, seed=2).apply(
+            ensemble, fields, step=0, dt=1.0)
+        np.testing.assert_array_equal(ensemble.component("weight"), before)
+
+    def test_invalidates_charge_weight_cache(self):
+        ensemble = seeded_ensemble()
+        stale = charge_weight(ensemble)
+        assert charge_weight(ensemble) is stale          # cached
+        fields = uniform_fields(ensemble.size, e0=1e6)
+        IonizationOperator(rate=50.0, critical_field=1.0,
+                           yield_fraction=0.5, seed=2).apply(
+            ensemble, fields, step=0, dt=1.0)
+        fresh = charge_weight(ensemble)
+        assert fresh is not stale
+        assert np.abs(fresh).sum() > np.abs(stale).sum()
+
+    def test_deterministic_per_seed(self):
+        results = []
+        for _ in range(2):
+            ensemble = seeded_ensemble()
+            fields = uniform_fields(ensemble.size, e0=1e6)
+            IonizationOperator(rate=5.0, critical_field=2.0,
+                               seed=13).apply(ensemble, fields,
+                                              step=2, dt=1.0, stream=3)
+            results.append(ensemble.component("weight").copy())
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IonizationOperator(rate=-1.0, critical_field=1.0)
+        with pytest.raises(ConfigurationError):
+            IonizationOperator(rate=1.0, critical_field=0.0)
+        with pytest.raises(ConfigurationError):
+            IonizationOperator(rate=1.0, critical_field=1.0,
+                               yield_fraction=-0.1)
